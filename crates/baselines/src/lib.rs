@@ -1,0 +1,21 @@
+//! Behavioural re-implementations of the third-party GPU SVM systems the
+//! paper compares against in §4.3 (Figs. 8–10).
+//!
+//! The original binaries are CUDA programs we cannot run here; each
+//! comparator below reduces the system to the property the paper credits
+//! or blames for its performance (DESIGN.md §2):
+//!
+//! * [`GpuSvmLike`] (Catanzaro et al. 2008) — binary SVMs only, **dense**
+//!   data representation (the reason it loses badly on sparse datasets
+//!   like RCV1 in Fig. 10), first-order working-set selection.
+//! * [`OhdSvmLike`] (Vaněk et al. 2017) — binary SVMs only, hierarchical
+//!   two-level working sets, but no cross-round kernel-row reuse.
+//! * [`GtSvmLike`] (Cotter et al. 2011) — multi-class (one-vs-one) without
+//!   probability output, sparse CSR data, small working sets, no kernel
+//!   value sharing across binary SVMs.
+
+pub mod comparators;
+pub mod uncached;
+
+pub use comparators::{ComparatorReport, GpuSvmLike, GtSvmLike, OhdSvmLike};
+pub use uncached::UncachedRows;

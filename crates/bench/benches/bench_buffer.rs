@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark behind Figure 6: batched solver wall time as
+//! the buffer (working set) size varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmp_datasets::PaperDataset;
+use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
+use gmp_smo::{BatchedParams, BatchedSmoSolver, SmoParams};
+use std::sync::Arc;
+
+fn bench_buffer(c: &mut Criterion) {
+    let data = PaperDataset::Adult.generate(0.003);
+    let y: Vec<f64> = data.y.iter().map(|&v| if v == 0 { 1.0 } else { -1.0 }).collect();
+    let oracle = Arc::new(KernelOracle::new(
+        Arc::new(data.x.clone()),
+        KernelKind::Rbf { gamma: 0.5 },
+    ));
+    let mut group = c.benchmark_group("fig6_buffer_size");
+    group.sample_size(10);
+    for bs in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| {
+                let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+                let mut rows = BufferedRows::new(
+                    oracle.clone(),
+                    bs,
+                    ReplacementPolicy::FifoBatch,
+                    None,
+                )
+                .unwrap();
+                let params = BatchedParams {
+                    base: SmoParams { c: 100.0, ..Default::default() },
+                    ws_size: bs,
+                    q: bs / 2,
+                    inner_relax: 0.1,
+                    max_inner: bs * 4,
+                };
+                BatchedSmoSolver::new(params).solve(&y, &mut rows, &exec)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark behind Table 3's prediction columns: shared
+//! (GMP-SVM) vs unshared (GPU baseline) prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmp_datasets::PaperDataset;
+use gmp_svm::{Backend, MpSvmTrainer, SvmParams};
+
+fn bench_predict(c: &mut Criterion) {
+    let data = PaperDataset::Mnist.generate(0.002);
+    let params = SvmParams::default()
+        .with_c(10.0)
+        .with_rbf(0.125)
+        .with_working_set(64, 32);
+    let model = MpSvmTrainer::new(params, Backend::gmp_default())
+        .train(&data)
+        .unwrap()
+        .model;
+    let mut group = c.benchmark_group("table3_predict");
+    group.sample_size(10);
+    for backend in [Backend::gmp_default(), Backend::gpu_baseline_default()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.label()),
+            &backend,
+            |b, backend| b.iter(|| model.predict(&data.x, backend).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

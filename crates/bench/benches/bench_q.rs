@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark behind Figure 7: batched solver wall time as
+//! q (new violators per round) varies with a fixed buffer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmp_datasets::PaperDataset;
+use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
+use gmp_smo::{BatchedParams, BatchedSmoSolver, SmoParams};
+use std::sync::Arc;
+
+fn bench_q(c: &mut Criterion) {
+    let data = PaperDataset::Webdata.generate(0.002);
+    let y: Vec<f64> = data.y.iter().map(|&v| if v == 0 { 1.0 } else { -1.0 }).collect();
+    let oracle = Arc::new(KernelOracle::new(
+        Arc::new(data.x.clone()),
+        KernelKind::Rbf { gamma: 0.5 },
+    ));
+    let bs = 128usize;
+    let mut group = c.benchmark_group("fig7_q");
+    group.sample_size(10);
+    for q in [8usize, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+                let mut rows = BufferedRows::new(
+                    oracle.clone(),
+                    bs,
+                    ReplacementPolicy::FifoBatch,
+                    None,
+                )
+                .unwrap();
+                let params = BatchedParams {
+                    base: SmoParams { c: 10.0, ..Default::default() },
+                    ws_size: bs,
+                    q,
+                    inner_relax: 0.1,
+                    max_inner: bs * 4,
+                };
+                BatchedSmoSolver::new(params).solve(&y, &mut rows, &exec)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark behind the §3.3.1 claim: computing q kernel
+//! rows as one batch is cheaper per row than computing them one by one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmp_datasets::PaperDataset;
+use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_kernel::{KernelKind, KernelOracle};
+use gmp_sparse::DenseMatrix;
+use std::sync::Arc;
+
+fn bench_rowbatch(c: &mut Criterion) {
+    let data = PaperDataset::Rcv1.generate(0.01);
+    let oracle = Arc::new(KernelOracle::new(
+        Arc::new(data.x.clone()),
+        KernelKind::Rbf { gamma: 0.125 },
+    ));
+    let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+    let n = data.n();
+    let mut group = c.benchmark_group("rowbatch_per_row");
+    group.sample_size(10);
+    for batch in [1usize, 8, 32, 128] {
+        let rows: Vec<usize> = (0..batch).map(|i| (i * 37) % n).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &rows, |b, rows| {
+            b.iter(|| {
+                let mut out = DenseMatrix::zeros(rows.len(), n);
+                oracle.compute_rows(&exec, rows, &mut out);
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rowbatch);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark behind Table 3's training columns: wall-clock
+//! training time per backend on a small Connect-4 stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmp_datasets::PaperDataset;
+use gmp_svm::{Backend, MpSvmTrainer, SvmParams};
+
+fn bench_train(c: &mut Criterion) {
+    let data = PaperDataset::Connect4.generate(0.002);
+    let params = SvmParams::default()
+        .with_c(1.0)
+        .with_rbf(0.3)
+        .with_working_set(64, 32);
+    let mut group = c.benchmark_group("table3_train");
+    group.sample_size(10);
+    for backend in [
+        Backend::libsvm(),
+        Backend::gpu_baseline_default(),
+        Backend::gmp_default(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.label()),
+            &backend,
+            |b, backend| {
+                b.iter(|| {
+                    MpSvmTrainer::new(params, backend.clone())
+                        .train(&data)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates Figures 4 and 5: training / prediction speedup of GMP-SVM
+//! over the other four implementations.
+//!
+//! Reuses `target/gmp-results/table3.tsv` when present (run `table3`
+//! first); otherwise recomputes the measurements.
+
+use gmp_bench::{
+    measure, params_for, print_table, read_tsv, results_dir, table3_backends, Measurement,
+};
+use gmp_datasets::PaperDataset;
+use std::collections::HashMap;
+
+fn main() {
+    let path = results_dir().join("table3.tsv");
+    let all: Vec<Measurement> = match read_tsv(&path) {
+        Some(ms) if !ms.is_empty() => {
+            println!("(reusing {})", path.display());
+            ms
+        }
+        _ => {
+            println!("(no table3.tsv found — computing fresh measurements)");
+            let mut ms = Vec::new();
+            for ds in PaperDataset::all() {
+                let params = params_for(ds);
+                for b in table3_backends() {
+                    ms.push(measure(ds, &b, params));
+                    eprintln!("  {} / {} done", ds.spec().name, b.label());
+                }
+            }
+            ms
+        }
+    };
+
+    // Index by (dataset, backend).
+    let mut by_key: HashMap<(String, String), &Measurement> = HashMap::new();
+    for m in &all {
+        by_key.insert((m.dataset.clone(), m.backend.clone()), m);
+    }
+    let gmp_label = "GMP-SVM".to_string();
+    let others = [
+        "LibSVM w/o OpenMP",
+        "LibSVM w/ OpenMP (40t)",
+        "GPU baseline",
+        "CMP-SVM (40t)",
+    ];
+    let datasets: Vec<String> = {
+        let mut seen = Vec::new();
+        for m in &all {
+            if !seen.contains(&m.dataset) {
+                seen.push(m.dataset.clone());
+            }
+        }
+        seen
+    };
+
+    for (fig, train) in [("Figure 4 — training speedup of GMP-SVM", true), ("Figure 5 — prediction speedup of GMP-SVM", false)] {
+        let mut rows = Vec::new();
+        for ds in &datasets {
+            let Some(gmp) = by_key.get(&(ds.clone(), gmp_label.clone())) else {
+                continue;
+            };
+            let gmp_t = if train { gmp.train_sim_s } else { gmp.predict_sim_s };
+            let mut row = vec![ds.clone()];
+            for other in others {
+                match by_key.get(&(ds.clone(), other.to_string())) {
+                    Some(m) => {
+                        let t = if train { m.train_sim_s } else { m.predict_sim_s };
+                        row.push(format!("{:.1}x", t / gmp_t.max(1e-12)));
+                    }
+                    None => row.push("-".to_string()),
+                }
+            }
+            rows.push(row);
+        }
+        print_table(
+            fig,
+            &[
+                "Dataset",
+                "vs LibSVM w/o OpenMP",
+                "vs LibSVM w/ OpenMP",
+                "vs GPU baseline",
+                "vs CMP-SVM",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 6: GMP-SVM training time as the GPU buffer size
+//! (= working-set size) varies. Two binary datasets and two multi-class
+//! datasets, as in the paper.
+
+use gmp_bench::{fmt_s, measure_on, params_for, print_banner, print_table, split_for};
+use gmp_datasets::PaperDataset;
+use gmp_svm::Backend;
+
+fn main() {
+    let datasets = [
+        PaperDataset::Adult,
+        PaperDataset::Webdata,
+        PaperDataset::Mnist,
+        PaperDataset::News20,
+    ];
+    print_banner("Figure 6 — training time vs GPU buffer size (bs)", &datasets);
+    let buffer_sizes = [64usize, 128, 256, 512, 1024];
+
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let split = split_for(ds);
+        let mut row = vec![ds.spec().name.to_string()];
+        for &bs in &buffer_sizes {
+            // q tracks the paper's bs/2 relationship (Fig. 7 finding).
+            let params = params_for(ds).with_working_set(bs, bs / 2);
+            let m = measure_on(&split, ds.spec().name, &Backend::gmp_default(), params);
+            row.push(format!(
+                "{} ({})",
+                fmt_s(m.train_sim_s),
+                m.train_kernel_evals
+            ));
+            eprintln!("  {} bs={bs} done", ds.spec().name);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6 (simulated train seconds (kernel evals))",
+        &["Dataset", "bs=64", "bs=128", "bs=256", "bs=512", "bs=1024"],
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table 2: the dataset inventory, published vs. generated.
+
+use gmp_bench::{default_scale, print_table};
+use gmp_datasets::PaperDataset;
+
+fn main() {
+    println!("# Table 2 — datasets (synthetic stand-ins, see DESIGN.md §2)");
+    let mut rows = Vec::new();
+    for ds in PaperDataset::all() {
+        let spec = ds.spec();
+        let scale = default_scale(ds);
+        let d = ds.generate(scale);
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.classes.to_string(),
+            spec.cardinality.to_string(),
+            d.n().to_string(),
+            spec.dimension.to_string(),
+            format!("{:.4}", d.x.density()),
+            spec.c.to_string(),
+            spec.gamma.to_string(),
+            format!("{scale:.4}"),
+        ]);
+    }
+    print_table(
+        "Table 2",
+        &[
+            "Dataset",
+            "# classes",
+            "cardinality (paper)",
+            "cardinality (generated)",
+            "dimension",
+            "density (generated)",
+            "C",
+            "gamma",
+            "scale",
+        ],
+        &rows,
+    );
+}

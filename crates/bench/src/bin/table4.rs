@@ -1,0 +1,86 @@
+//! Regenerates Table 4: final classifier comparison between the LibSVM
+//! reference and GMP-SVM — bias of the decision function, training error,
+//! prediction error. Optional `--sweep` adds the C/γ sensitivity check of
+//! §4.1 on a small grid.
+
+use gmp_bench::{measure_on, params_for, print_banner, print_table, split_for};
+use gmp_datasets::PaperDataset;
+use gmp_svm::Backend;
+
+fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    let datasets = PaperDataset::all();
+    print_banner("Table 4 — final classifier comparison (LibSVM vs GMP-SVM)", &datasets);
+
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let split = split_for(ds);
+        let params = params_for(ds);
+        let lib = measure_on(&split, ds.spec().name, &Backend::libsvm(), params);
+        let gmp = measure_on(&split, ds.spec().name, &Backend::gmp_default(), params);
+        rows.push(vec![
+            ds.spec().name.to_string(),
+            format!("{:.4}", lib.bias),
+            format!("{:.4}", gmp.bias),
+            format!("{:.2}%", 100.0 * lib.train_error),
+            format!("{:.2}%", 100.0 * gmp.train_error),
+            format!("{:.2}%", 100.0 * lib.test_error),
+            format!("{:.2}%", 100.0 * gmp.test_error),
+            if (lib.bias - gmp.bias).abs() < 1e-2
+                && (lib.train_error - gmp.train_error).abs() < 5e-3
+            {
+                "identical".to_string()
+            } else {
+                "DIFFERS".to_string()
+            },
+        ]);
+        eprintln!("  {} done", ds.spec().name);
+    }
+    print_table(
+        "Table 4",
+        &[
+            "Dataset",
+            "bias LibSVM",
+            "bias GMP-SVM",
+            "train err LibSVM",
+            "train err GMP-SVM",
+            "pred err LibSVM",
+            "pred err GMP-SVM",
+            "verdict",
+        ],
+        &rows,
+    );
+
+    if sweep {
+        println!("\n## Hyper-parameter sweep (§4.1: C in [0.01,100], gamma in [0.03,10])\n");
+        let ds = PaperDataset::Adult;
+        let split = split_for(ds);
+        let mut rows = Vec::new();
+        for c in [0.01, 1.0, 100.0] {
+            for gamma in [0.03, 0.5, 10.0] {
+                let params = params_for(ds).with_c(c).with_rbf(gamma);
+                let lib = measure_on(&split, "Adult", &Backend::libsvm(), params);
+                let gmp = measure_on(&split, "Adult", &Backend::gmp_default(), params);
+                rows.push(vec![
+                    format!("C={c}, gamma={gamma}"),
+                    format!("{:.4} / {:.4}", lib.bias, gmp.bias),
+                    format!(
+                        "{:.2}% / {:.2}%",
+                        100.0 * lib.train_error,
+                        100.0 * gmp.train_error
+                    ),
+                    if (lib.bias - gmp.bias).abs() < 1e-2 {
+                        "identical".into()
+                    } else {
+                        "DIFFERS".into()
+                    },
+                ]);
+            }
+        }
+        print_table(
+            "Sweep (Adult)",
+            &["Config", "bias (LibSVM / GMP)", "train err (LibSVM / GMP)", "verdict"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! `gmp-predict` — score a LibSVM-format file with a trained model.
+//!
+//! ```text
+//! gmp-predict [options] TEST_FILE MODEL_FILE [OUTPUT_FILE]
+//!   --backend B    execution backend (default gmp)
+//! ```
+//!
+//! Output: one line per instance — the predicted class followed by the
+//! class probabilities (when the model carries sigmoids), mirroring
+//! `svm-predict -b 1`. Accuracy is printed to stderr when the test file
+//! has labels.
+
+use gmp_cli::parse_args;
+use gmp_svm::predict::error_rate;
+use gmp_svm::MpSvmModel;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gmp-predict: {e}");
+            eprintln!("usage: gmp-predict [options] TEST_FILE MODEL_FILE [OUTPUT_FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(test_path), Some(model_path)) = (opts.positional.first(), opts.positional.get(1))
+    else {
+        eprintln!("gmp-predict: need TEST_FILE and MODEL_FILE");
+        return ExitCode::FAILURE;
+    };
+
+    let model_text = match std::fs::read_to_string(model_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gmp-predict: cannot read {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match MpSvmModel::from_text(&model_text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("gmp-predict: {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let test_text = match std::fs::read_to_string(test_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gmp-predict: cannot read {test_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match gmp_datasets::parse_libsvm(&test_text, model.sv_pool.ncols()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gmp-predict: {test_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let pred = match model.predict(&data.x, &opts.backend) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gmp-predict: prediction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[{}] {} instances scored in {:.4} s wall / {:.4} s simulated ({} kernel evals, {:.0}% SV-sharing saving)",
+        pred.report.backend,
+        data.n(),
+        pred.report.wall_s,
+        pred.report.sim_s,
+        pred.report.kernel_evals,
+        100.0 * pred.report.sharing_saving(),
+    );
+
+    let mut out = String::new();
+    for (i, &label) in pred.labels.iter().enumerate() {
+        let _ = write!(out, "{label}");
+        if let Some(p) = pred.probabilities.get(i) {
+            for v in p {
+                let _ = write!(out, " {v:.6}");
+            }
+        }
+        out.push('\n');
+    }
+    match opts.positional.get(2) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("gmp-predict: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("predictions written to {path}");
+        }
+        None => print!("{out}"),
+    }
+
+    // The parser densifies labels, so accuracy is only meaningful when the
+    // file's labels already match the model's class ids.
+    let acc = 1.0 - error_rate(&pred.labels, &data.y);
+    eprintln!("accuracy against file labels: {:.2}%", 100.0 * acc);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! `gmp-train` — train an MP-SVM model from a LibSVM-format file.
+//!
+//! ```text
+//! gmp-train [options] TRAIN_FILE [MODEL_FILE]
+//!   -c COST        penalty parameter C (default 1)
+//!   -g GAMMA       kernel gamma (default 0.5)
+//!   -t TYPE        kernel: 0=linear 1=poly 2=rbf 3=sigmoid (default 2)
+//!   -r COEF0 -d DEGREE    poly/sigmoid extras
+//!   -e EPS         SMO tolerance (default 1e-3)
+//!   -b 0|1         probability output (default 1)
+//!   --ws N --q N   GMP buffer size / new violators per round
+//!   --weight CLASS VALUE   per-class penalty multiplier (like -wi)
+//!   --backend B    libsvm | libsvm-omp | gpu-baseline | cmp | gmp | gmp-v100
+//! ```
+
+use gmp_cli::parse_args;
+use gmp_svm::MpSvmTrainer;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gmp-train: {e}");
+            eprintln!("usage: gmp-train [options] TRAIN_FILE [MODEL_FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(train_path) = opts.positional.first() else {
+        eprintln!("gmp-train: missing TRAIN_FILE");
+        return ExitCode::FAILURE;
+    };
+    let model_path = opts
+        .positional
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| format!("{train_path}.model"));
+
+    let text = match std::fs::read_to_string(train_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gmp-train: cannot read {train_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match gmp_datasets::parse_libsvm(&text, 0) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gmp-train: {train_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "read {} instances, {} features, {} classes",
+        data.n(),
+        data.dim(),
+        data.n_classes()
+    );
+
+    let trainer = MpSvmTrainer::new(opts.params, opts.backend)
+        .with_class_weights(opts.class_weights.clone());
+    let outcome = match trainer.train(&data) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gmp-train: training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[{}] trained {} binary SVMs, {} shared SVs, {} SMO iterations",
+        outcome.report.backend,
+        outcome.model.binaries.len(),
+        outcome.model.n_sv(),
+        outcome.report.total_iterations(),
+    );
+    eprintln!(
+        "wall {:.3} s | simulated {:.3} s | kernel evals {}",
+        outcome.report.wall_s, outcome.report.sim_s, outcome.report.kernel_evals
+    );
+    if !outcome.report.all_converged() {
+        eprintln!("warning: some binary problems hit the iteration cap");
+    }
+    if let Err(e) = std::fs::write(&model_path, outcome.model.to_text()) {
+        eprintln!("gmp-train: cannot write {model_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("model written to {model_path}");
+    ExitCode::SUCCESS
+}

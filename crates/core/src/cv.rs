@@ -1,0 +1,119 @@
+//! k-fold cross-validation over the full MP-SVM pipeline.
+
+use crate::params::{Backend, SvmParams};
+use crate::predict::error_rate;
+use crate::trainer::{MpSvmTrainer, TrainError};
+use gmp_datasets::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Cross-validation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Per-fold held-out error rates.
+    pub fold_errors: Vec<f64>,
+    /// Mean held-out error.
+    pub mean_error: f64,
+}
+
+/// Run `folds`-fold cross-validation: train on `folds - 1` parts, score the
+/// held-out part, average the error.
+///
+/// Deterministic for a fixed `seed`.
+pub fn cross_validate(
+    params: SvmParams,
+    backend: Backend,
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+) -> Result<CvResult, TrainError> {
+    assert!(folds >= 2, "need at least two folds");
+    assert!(data.n() >= folds, "need at least one instance per fold");
+    let mut order: Vec<usize> = (0..data.n()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut fold_errors = Vec::with_capacity(folds);
+    for f in 0..folds {
+        let lo = f * data.n() / folds;
+        let hi = (f + 1) * data.n() / folds;
+        let test_idx = &order[lo..hi];
+        let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+        let train = data.select(&train_idx);
+        let test = data.select(test_idx);
+        if train.n_classes() < 2 {
+            // Degenerate fold (tiny datasets): count as zero-information.
+            fold_errors.push(1.0);
+            continue;
+        }
+        let out = MpSvmTrainer::new(params, backend.clone()).train(&train)?;
+        let pred = out.model.predict(&test.x, &backend)?;
+        fold_errors.push(error_rate(&pred.labels, &test.y));
+    }
+    let mean_error = fold_errors.iter().sum::<f64>() / folds as f64;
+    Ok(CvResult {
+        fold_errors,
+        mean_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_datasets::BlobSpec;
+
+    #[test]
+    fn cv_on_separable_blobs_is_accurate() {
+        let data = BlobSpec {
+            n: 120,
+            dim: 2,
+            classes: 3,
+            spread: 0.12,
+            seed: 8,
+        }
+        .generate();
+        let params = SvmParams::default()
+            .with_c(2.0)
+            .with_rbf(1.0)
+            .with_working_set(32, 16);
+        let r = cross_validate(params, Backend::libsvm(), &data, 3, 42).unwrap();
+        assert_eq!(r.fold_errors.len(), 3);
+        assert!(r.mean_error < 0.15, "cv error {}", r.mean_error);
+    }
+
+    #[test]
+    fn cv_deterministic() {
+        let data = BlobSpec {
+            n: 60,
+            dim: 2,
+            classes: 2,
+            spread: 0.2,
+            seed: 9,
+        }
+        .generate();
+        let params = SvmParams::default().with_c(1.0).with_rbf(1.0).with_working_set(16, 8);
+        let a = cross_validate(params, Backend::libsvm(), &data, 2, 7).unwrap();
+        let b = cross_validate(params, Backend::libsvm(), &data, 2, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn rejects_one_fold() {
+        let data = BlobSpec {
+            n: 10,
+            dim: 2,
+            classes: 2,
+            spread: 0.1,
+            seed: 1,
+        }
+        .generate();
+        let _ = cross_validate(
+            SvmParams::default(),
+            Backend::libsvm(),
+            &data,
+            1,
+            0,
+        );
+    }
+}

@@ -1,0 +1,454 @@
+//! Prediction with support-vector and kernel-value sharing (§3.3.3, Fig. 2).
+
+use crate::model::MpSvmModel;
+use crate::params::Backend;
+use crate::telemetry::PredictReport;
+use crate::trainer::TrainError;
+use gmp_gpusim::cost::KernelCost;
+use gmp_gpusim::{CpuExecutor, Device, Executor, HostConfig, Stream};
+use gmp_kernel::KernelOracle;
+use gmp_prob::{couple_gaussian, sigmoid_predict, PairwiseProbs};
+use gmp_sparse::{CsrMatrix, DenseMatrix};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Prediction results.
+#[derive(Debug, Clone)]
+pub struct PredictOutcome {
+    /// Predicted class per instance.
+    pub labels: Vec<u32>,
+    /// Multi-class probabilities per instance (rows sum to 1). Empty when
+    /// the model has no sigmoids.
+    pub probabilities: Vec<Vec<f64>>,
+    /// Decision values per instance per binary SVM (pair-enumeration
+    /// order) — the Table 4 comparison quantity.
+    pub decision_values: Vec<Vec<f64>>,
+    /// Timings and counters.
+    pub report: PredictReport,
+}
+
+impl MpSvmModel {
+    /// Predict labels (and probabilities, when the model has sigmoids) for
+    /// every row of `test`.
+    ///
+    /// Backend selects the execution/cost model **and** the sharing
+    /// strategy: GMP-SVM and CMP-SVM compute the test-by-SV kernel block
+    /// once for all binary SVMs (support-vector sharing); the LibSVM-like
+    /// and GPU-baseline paths score one binary SVM at a time against its
+    /// own support vectors, recomputing kernel values for shared SVs.
+    pub fn predict(
+        &self,
+        test: &CsrMatrix,
+        backend: &Backend,
+    ) -> Result<PredictOutcome, TrainError> {
+        let wall = Instant::now();
+        let m = test.nrows();
+        let k = self.classes;
+        let n_binaries = self.binaries.len();
+        let shared = matches!(backend, Backend::Gmp { .. } | Backend::CpuBatched { .. });
+
+        // Executor + optional device.
+        let device = match backend {
+            Backend::GpuBaseline { device } | Backend::Gmp { device, .. } => {
+                Some(Device::new(device.clone()))
+            }
+            _ => None,
+        };
+        let exec: Box<dyn Executor> = match backend {
+            Backend::CpuClassic { threads } | Backend::CpuBatched { threads } => Box::new(
+                CpuExecutor::new(HostConfig::xeon_e5_2640_v4(*threads as u32)),
+            ),
+            _ => Box::new(Stream::new(device.clone().expect("gpu backend"), 1.0)),
+        };
+        let exec = &*exec;
+
+        let mut decision_values = vec![vec![0.0f64; n_binaries]; m];
+        let mut kernel_evals = 0u64;
+        let sim_decision_start = exec.elapsed();
+
+        if m > 0 && self.sv_pool.nrows() > 0 {
+            if shared {
+                kernel_evals += self.decisions_shared(test, exec, device.as_ref(), &mut decision_values)?;
+            } else {
+                kernel_evals +=
+                    self.decisions_unshared(test, exec, device.as_ref(), &mut decision_values)?;
+            }
+        } else {
+            for row in decision_values.iter_mut() {
+                for (b, v) in self.binaries.iter().zip(row.iter_mut()) {
+                    *v = -b.rho;
+                }
+            }
+        }
+        let sim_decision_s = exec.elapsed() - sim_decision_start;
+
+        // --- Sigmoids (Equation 12).
+        let sim_sigmoid_start = exec.elapsed();
+        let has_prob = self.has_probability();
+        let mut pairwise: Vec<PairwiseProbs> = Vec::new();
+        if has_prob && m > 0 {
+            pairwise.reserve(m);
+            for dv in &decision_values {
+                let mut r = PairwiseProbs::new(k.max(2));
+                for (bi, b) in self.binaries.iter().enumerate() {
+                    let sig = b.sigmoid.as_ref().expect("has_probability checked");
+                    r.set(b.s as usize, b.t as usize, sigmoid_predict(dv[bi], sig));
+                }
+                pairwise.push(r);
+            }
+            exec.charge(KernelCost::map((m * n_binaries) as u64, 8, 16));
+        }
+        let sim_sigmoid_s = exec.elapsed() - sim_sigmoid_start;
+
+        // --- Coupling (Problem 14 via Equation 15) + labels.
+        let sim_coupling_start = exec.elapsed();
+        let mut probabilities: Vec<Vec<f64>> = Vec::new();
+        let labels: Vec<u32> = if has_prob && m > 0 {
+            probabilities.reserve(m);
+            // One Gaussian elimination (k³/3 flops) per instance, all
+            // instances in parallel on the device (§3.2 Phase iii).
+            exec.charge(KernelCost::map(
+                m as u64,
+                ((k * k * k) / 3).max(1) as u64,
+                (k * k * 8) as u64,
+            ));
+            let mut labels = Vec::with_capacity(m);
+            for r in &pairwise {
+                let p = couple_gaussian(r);
+                let best = argmax(&p);
+                probabilities.push(p);
+                labels.push(best as u32);
+            }
+            labels
+        } else {
+            // One-against-one voting.
+            decision_values
+                .iter()
+                .map(|dv| {
+                    let mut votes = vec![0u32; k.max(1)];
+                    for (bi, b) in self.binaries.iter().enumerate() {
+                        if dv[bi] > 0.0 {
+                            votes[b.s as usize] += 1;
+                        } else {
+                            votes[b.t as usize] += 1;
+                        }
+                    }
+                    argmax_u32(&votes) as u32
+                })
+                .collect()
+        };
+        let sim_coupling_s = exec.elapsed() - sim_coupling_start;
+
+        let report = PredictReport {
+            backend: backend.label(),
+            wall_s: wall.elapsed().as_secs_f64(),
+            sim_s: exec.elapsed(),
+            kernel_evals,
+            unique_svs: self.n_sv(),
+            total_sv_refs: self.total_sv_refs(),
+            sim_decision_s,
+            sim_sigmoid_s,
+            sim_coupling_s,
+        };
+        Ok(PredictOutcome {
+            labels,
+            probabilities,
+            decision_values,
+            report,
+        })
+    }
+
+    /// Shared path: one `test x sv_pool` kernel block serves every binary.
+    fn decisions_shared(
+        &self,
+        test: &CsrMatrix,
+        exec: &dyn Executor,
+        device: Option<&Device>,
+        out: &mut [Vec<f64>],
+    ) -> Result<u64, TrainError> {
+        let n_sv = self.sv_pool.nrows();
+        let oracle = KernelOracle::new(Arc::new(self.sv_pool.clone()), self.kernel);
+        // Device residency: SV pool + one chunk of the kernel block.
+        let _sv_mem = match device {
+            Some(d) => {
+                let bytes = self.sv_pool.mem_bytes() as u64;
+                let a = d.alloc(bytes)?;
+                exec.charge_transfer(bytes);
+                Some(a)
+            }
+            None => None,
+        };
+        let chunk = chunk_rows(test.nrows(), n_sv, device);
+        let mut start = 0usize;
+        while start < test.nrows() {
+            let end = (start + chunk).min(test.nrows());
+            let rows: Vec<usize> = (start..end).collect();
+            let _block_mem = match device {
+                Some(d) => Some(d.alloc((rows.len() * n_sv * 8) as u64)?),
+                None => None,
+            };
+            let mut block = DenseMatrix::zeros(rows.len(), n_sv);
+            oracle.compute_cross(exec, test, &rows, &mut block);
+            // All binary SVMs index into the same block.
+            exec.charge(KernelCost::map(
+                (rows.len() * self.total_sv_refs()) as u64,
+                2,
+                16,
+            ));
+            for (bi, b) in self.binaries.iter().enumerate() {
+                for (ri, t) in (start..end).enumerate() {
+                    let krow = block.row(ri);
+                    let mut v = 0.0;
+                    for (&svi, &c) in b.sv_idx.iter().zip(&b.coef) {
+                        v += c * krow[svi as usize];
+                    }
+                    out[t][bi] = v - b.rho;
+                }
+            }
+            start = end;
+        }
+        Ok(oracle.eval_count())
+    }
+
+    /// Unshared path: each binary SVM scores against its own SV list.
+    fn decisions_unshared(
+        &self,
+        test: &CsrMatrix,
+        exec: &dyn Executor,
+        device: Option<&Device>,
+        out: &mut [Vec<f64>],
+    ) -> Result<u64, TrainError> {
+        let mut evals = 0u64;
+        for (bi, b) in self.binaries.iter().enumerate() {
+            if b.sv_idx.is_empty() {
+                for row in out.iter_mut() {
+                    row[bi] = -b.rho;
+                }
+                continue;
+            }
+            let sv_rows: Vec<usize> = b.sv_idx.iter().map(|&i| i as usize).collect();
+            let svs = Arc::new(self.sv_pool.select_rows(&sv_rows));
+            let _sv_mem = match device {
+                Some(d) => {
+                    let bytes = svs.mem_bytes() as u64;
+                    let a = d.alloc(bytes)?;
+                    exec.charge_transfer(bytes);
+                    Some(a)
+                }
+                None => None,
+            };
+            let oracle = KernelOracle::new(svs, self.kernel);
+            let n_sv = sv_rows.len();
+            let chunk = chunk_rows(test.nrows(), n_sv, device);
+            let mut start = 0usize;
+            while start < test.nrows() {
+                let end = (start + chunk).min(test.nrows());
+                let rows: Vec<usize> = (start..end).collect();
+                let _block_mem = match device {
+                    Some(d) => Some(d.alloc((rows.len() * n_sv * 8) as u64)?),
+                    None => None,
+                };
+                let mut block = DenseMatrix::zeros(rows.len(), n_sv);
+                oracle.compute_cross(exec, test, &rows, &mut block);
+                exec.charge(KernelCost::map((rows.len() * n_sv) as u64, 2, 16));
+                for (ri, t) in (start..end).enumerate() {
+                    let krow = block.row(ri);
+                    let mut v = 0.0;
+                    for (j, &c) in b.coef.iter().enumerate() {
+                        v += c * krow[j];
+                    }
+                    out[t][bi] = v - b.rho;
+                }
+                start = end;
+            }
+            evals += oracle.eval_count();
+        }
+        Ok(evals)
+    }
+}
+
+/// Test-chunk size so a kernel block fits in a conservative slice of device
+/// memory (or a fixed host budget).
+fn chunk_rows(m: usize, n_sv: usize, device: Option<&Device>) -> usize {
+    let budget = match device {
+        Some(d) => (d.mem_available() / 4).max(1 << 20),
+        None => 256 << 20,
+    };
+    ((budget / (n_sv.max(1) as u64 * 8)) as usize).clamp(1, m.max(1))
+}
+
+fn argmax(p: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in p.iter().enumerate() {
+        if v > p[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmax_u32(p: &[u32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in p.iter().enumerate() {
+        if v > p[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Classification error rate of predictions against reference labels.
+pub fn error_rate(predicted: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let wrong = predicted
+        .iter()
+        .zip(truth)
+        .filter(|(a, b)| a != b)
+        .count();
+    wrong as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SvmParams;
+    use crate::trainer::MpSvmTrainer;
+    use gmp_datasets::BlobSpec;
+
+    fn trained() -> (crate::trainer::TrainOutcome, gmp_datasets::Dataset) {
+        let data = BlobSpec {
+            n: 120,
+            dim: 2,
+            classes: 3,
+            spread: 0.15,
+            seed: 4,
+        }
+        .generate();
+        let out = MpSvmTrainer::new(
+            SvmParams::default().with_c(2.0).with_rbf(1.0).with_working_set(32, 16),
+            Backend::gmp_default(),
+        )
+        .train(&data)
+        .unwrap();
+        (out, data)
+    }
+
+    #[test]
+    fn predicts_training_set_accurately() {
+        let (out, data) = trained();
+        let pred = out.model.predict(&data.x, &Backend::gmp_default()).unwrap();
+        let err = error_rate(&pred.labels, &data.y);
+        assert!(err < 0.05, "training error {err}");
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let (out, data) = trained();
+        let pred = out.model.predict(&data.x, &Backend::gmp_default()).unwrap();
+        assert_eq!(pred.probabilities.len(), data.n());
+        for p in &pred.probabilities {
+            assert_eq!(p.len(), 3);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn label_matches_probability_argmax() {
+        let (out, data) = trained();
+        let pred = out.model.predict(&data.x, &Backend::gmp_default()).unwrap();
+        for (lbl, p) in pred.labels.iter().zip(&pred.probabilities) {
+            let am = argmax(p) as u32;
+            assert_eq!(*lbl, am);
+        }
+    }
+
+    #[test]
+    fn shared_and_unshared_paths_agree() {
+        let (out, data) = trained();
+        let shared = out.model.predict(&data.x, &Backend::gmp_default()).unwrap();
+        let unshared = out
+            .model
+            .predict(&data.x, &Backend::gpu_baseline_default())
+            .unwrap();
+        for (a, b) in shared
+            .decision_values
+            .iter()
+            .flatten()
+            .zip(unshared.decision_values.iter().flatten())
+        {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(shared.labels, unshared.labels);
+    }
+
+    #[test]
+    fn sharing_computes_fewer_kernel_values() {
+        let (out, data) = trained();
+        let shared = out.model.predict(&data.x, &Backend::gmp_default()).unwrap();
+        let unshared = out
+            .model
+            .predict(&data.x, &Backend::gpu_baseline_default())
+            .unwrap();
+        assert!(
+            shared.report.kernel_evals <= unshared.report.kernel_evals,
+            "shared {} vs unshared {}",
+            shared.report.kernel_evals,
+            unshared.report.kernel_evals
+        );
+        assert!(shared.report.sim_s < unshared.report.sim_s);
+    }
+
+    #[test]
+    fn phase_breakdown_covers_total() {
+        let (out, data) = trained();
+        let pred = out.model.predict(&data.x, &Backend::gmp_default()).unwrap();
+        let r = &pred.report;
+        let phases = r.sim_decision_s + r.sim_sigmoid_s + r.sim_coupling_s;
+        assert!(phases <= r.sim_s + 1e-9);
+        assert!(r.sim_decision_s > r.sim_coupling_s, "decision dominates (Fig 12)");
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let (out, _) = trained();
+        let empty = CsrMatrix::empty(2);
+        let pred = out.model.predict(&empty, &Backend::gmp_default()).unwrap();
+        assert!(pred.labels.is_empty());
+        assert!(pred.probabilities.is_empty());
+    }
+
+    #[test]
+    fn voting_without_probability() {
+        let data = BlobSpec {
+            n: 90,
+            dim: 2,
+            classes: 3,
+            spread: 0.15,
+            seed: 6,
+        }
+        .generate();
+        let out = MpSvmTrainer::new(
+            SvmParams::default()
+                .with_c(2.0)
+                .with_rbf(1.0)
+                .without_probability(),
+            Backend::libsvm(),
+        )
+        .train(&data)
+        .unwrap();
+        let pred = out.model.predict(&data.x, &Backend::libsvm()).unwrap();
+        assert!(pred.probabilities.is_empty());
+        let err = error_rate(&pred.labels, &data.y);
+        assert!(err < 0.1, "voting error {err}");
+    }
+
+    #[test]
+    fn error_rate_helper() {
+        assert_eq!(error_rate(&[1, 2, 3], &[1, 2, 0]), 1.0 / 3.0);
+        assert_eq!(error_rate(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Training and prediction reports: wall time, simulated time, and the
+//! hardware-independent counters every speedup claim is grounded in.
+
+use gmp_gpusim::DeviceStats;
+use gmp_smo::PhaseTimes;
+use serde::{Deserialize, Serialize};
+
+/// Per-binary-SVM training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryTrainStats {
+    /// Class pair.
+    pub pair: (u16, u16),
+    /// Subproblem size.
+    pub n: usize,
+    /// SMO pair updates.
+    pub iterations: u64,
+    /// Outer working-set rounds.
+    pub outer_rounds: u64,
+    /// Support vector count.
+    pub n_sv: usize,
+    /// Converged within ε?
+    pub converged: bool,
+    /// Kernel values computed for this problem.
+    pub kernel_evals: u64,
+    /// Simulated seconds on this problem's stream/executor.
+    pub sim_s: f64,
+}
+
+/// Aggregate training report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Backend label (Table 3 column).
+    pub backend: String,
+    /// Wall-clock seconds (host, this machine — not comparable to the
+    /// paper's testbed).
+    pub wall_s: f64,
+    /// Simulated seconds on the modeled hardware: per-stream maxima for
+    /// concurrent phases plus serial phases.
+    pub sim_s: f64,
+    /// Total kernel values computed across all binary problems.
+    pub kernel_evals: u64,
+    /// Total kernel rows computed.
+    pub rows_computed: u64,
+    /// Buffer hits across problems.
+    pub buffer_hits: u64,
+    /// Phase attribution (simulated time) — Fig. 11's three components.
+    pub sim_phases: PhaseTimes,
+    /// Phase attribution (wall time).
+    pub wall_phases: PhaseTimes,
+    /// Per-binary statistics.
+    pub per_binary: Vec<BinaryTrainStats>,
+    /// Device counters (GPU backends only).
+    pub device: Option<DeviceStats>,
+    /// Peak simulated device memory in bytes (GPU backends only).
+    pub peak_device_mem: u64,
+    /// Simulated seconds spent fitting sigmoids (probability phase).
+    pub sigmoid_sim_s: f64,
+    /// Binary SVMs trained concurrently per wave (1 = sequential).
+    pub concurrency: usize,
+}
+
+impl TrainReport {
+    /// Total SMO iterations across binary problems.
+    pub fn total_iterations(&self) -> u64 {
+        self.per_binary.iter().map(|b| b.iterations).sum()
+    }
+
+    /// Did every binary problem converge?
+    pub fn all_converged(&self) -> bool {
+        self.per_binary.iter().all(|b| b.converged)
+    }
+}
+
+/// Aggregate prediction report (Fig. 12's three components).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictReport {
+    /// Backend label.
+    pub backend: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Simulated seconds.
+    pub sim_s: f64,
+    /// Kernel values computed (test x SV blocks).
+    pub kernel_evals: u64,
+    /// Unique support vectors scored (after sharing).
+    pub unique_svs: usize,
+    /// Sum of per-binary SV list lengths (what *no* sharing would score).
+    pub total_sv_refs: usize,
+    /// Simulated time computing decision values.
+    pub sim_decision_s: f64,
+    /// Simulated time applying sigmoids.
+    pub sim_sigmoid_s: f64,
+    /// Simulated time solving the coupling problem (Equation 15).
+    pub sim_coupling_s: f64,
+}
+
+impl PredictReport {
+    /// Fraction of SV kernel work avoided by support-vector sharing.
+    pub fn sharing_saving(&self) -> f64 {
+        if self.total_sv_refs == 0 {
+            return 0.0;
+        }
+        1.0 - (self.unique_svs as f64 / self.total_sv_refs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut r = TrainReport::default();
+        r.per_binary.push(BinaryTrainStats {
+            pair: (0, 1),
+            n: 10,
+            iterations: 5,
+            outer_rounds: 2,
+            n_sv: 4,
+            converged: true,
+            kernel_evals: 100,
+            sim_s: 0.1,
+        });
+        r.per_binary.push(BinaryTrainStats {
+            pair: (0, 2),
+            n: 12,
+            iterations: 7,
+            outer_rounds: 3,
+            n_sv: 6,
+            converged: false,
+            kernel_evals: 150,
+            sim_s: 0.2,
+        });
+        assert_eq!(r.total_iterations(), 12);
+        assert!(!r.all_converged());
+    }
+
+    #[test]
+    fn sharing_saving() {
+        let r = PredictReport {
+            unique_svs: 60,
+            total_sv_refs: 100,
+            ..Default::default()
+        };
+        assert!((r.sharing_saving() - 0.4).abs() < 1e-12);
+        assert_eq!(PredictReport::default().sharing_saving(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! LibSVM text format: `label idx:val idx:val ...` per line, 1-based
+//! feature indices. This is the interchange format of the paper's datasets
+//! ("publicly available (e.g., LibSVM website)").
+
+use crate::dataset::Dataset;
+use gmp_sparse::CsrBuilder;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse LibSVM-format text into a dataset.
+///
+/// Labels may be arbitrary integers/floats; they are densified to `0..k` in
+/// order of first appearance sorted numerically. Feature indices are
+/// 1-based per the format; `dim` is inferred as the maximum index unless
+/// `min_dim` demands more columns.
+pub fn parse_libsvm(text: &str, min_dim: usize) -> Result<Dataset, ParseError> {
+    let mut raw_labels: Vec<f64> = Vec::new();
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
+    let mut max_col = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a token");
+        let label: f64 = label_tok.parse().map_err(|_| ParseError {
+            line: lineno + 1,
+            message: format!("bad label '{label_tok}'"),
+        })?;
+        let mut feats: Vec<(u32, f64)> = Vec::new();
+        let mut prev: Option<u32> = None;
+        for tok in parts {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| ParseError {
+                line: lineno + 1,
+                message: format!("feature token '{tok}' missing ':'"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| ParseError {
+                line: lineno + 1,
+                message: format!("bad feature index '{idx_s}'"),
+            })?;
+            if idx == 0 {
+                return Err(ParseError {
+                    line: lineno + 1,
+                    message: "feature indices are 1-based".to_string(),
+                });
+            }
+            let val: f64 = val_s.parse().map_err(|_| ParseError {
+                line: lineno + 1,
+                message: format!("bad feature value '{val_s}'"),
+            })?;
+            let col = (idx - 1) as u32;
+            if let Some(p) = prev {
+                if col <= p {
+                    return Err(ParseError {
+                        line: lineno + 1,
+                        message: "feature indices must be strictly increasing".to_string(),
+                    });
+                }
+            }
+            prev = Some(col);
+            max_col = max_col.max(idx);
+            if val != 0.0 {
+                feats.push((col, val));
+            }
+        }
+        raw_labels.push(label);
+        rows.push(feats);
+    }
+
+    // Densify labels: sort distinct values, map to 0..k.
+    let mut distinct: Vec<f64> = raw_labels.clone();
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+    distinct.dedup();
+    let label_map: HashMap<u64, u32> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v.to_bits(), i as u32))
+        .collect();
+
+    let dim = max_col.max(min_dim);
+    let mut b = CsrBuilder::new(dim.max(1));
+    for feats in &rows {
+        b.start_row();
+        for &(c, v) in feats {
+            b.push(c, v);
+        }
+    }
+    let y: Vec<u32> = raw_labels.iter().map(|v| label_map[&v.to_bits()]).collect();
+    Ok(Dataset::new(b.finish(), y))
+}
+
+/// Serialize a dataset to LibSVM text (labels written as the dense class
+/// ids, feature indices 1-based).
+pub fn write_libsvm(d: &Dataset) -> String {
+    let mut out = String::new();
+    for i in 0..d.n() {
+        let _ = write!(out, "{}", d.y[i]);
+        let row = d.x.row(i);
+        for (&c, &v) in row.indices.iter().zip(row.values) {
+            let _ = write!(out, " {}:{}", c + 1, v);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let d = parse_libsvm("1 1:0.5 3:2.0\n-1 2:1.0\n", 0).unwrap();
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.y, vec![1, 0]); // -1 < 1 so -1 -> 0
+        assert_eq!(d.x.row(0).indices, &[0, 2]);
+        assert_eq!(d.x.row(1).values, &[1.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let d = parse_libsvm("# header\n\n2 1:1\n", 0).unwrap();
+        assert_eq!(d.n(), 1);
+    }
+
+    #[test]
+    fn empty_feature_rows_allowed() {
+        let d = parse_libsvm("0\n1 1:5\n", 0).unwrap();
+        assert_eq!(d.x.row(0).nnz(), 0);
+    }
+
+    #[test]
+    fn multiclass_labels_densified_in_order() {
+        let d = parse_libsvm("7 1:1\n3 1:1\n7 1:1\n10 1:1\n", 0).unwrap();
+        assert_eq!(d.y, vec![1, 0, 1, 2]);
+        assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    fn min_dim_pads_columns() {
+        let d = parse_libsvm("1 1:1\n", 10).unwrap();
+        assert_eq!(d.dim(), 10);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "0 1:0.5 3:-2\n1 2:1\n2\n";
+        let d = parse_libsvm(src, 0).unwrap();
+        let text = write_libsvm(&d);
+        let d2 = parse_libsvm(&text, d.dim()).unwrap();
+        assert_eq!(d.x, d2.x);
+        assert_eq!(d.y, d2.y);
+    }
+
+    #[test]
+    fn error_bad_label() {
+        let e = parse_libsvm("abc 1:1\n", 0).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bad label"));
+    }
+
+    #[test]
+    fn error_zero_index() {
+        let e = parse_libsvm("1 0:1\n", 0).unwrap_err();
+        assert!(e.message.contains("1-based"));
+    }
+
+    #[test]
+    fn error_unsorted_indices() {
+        let e = parse_libsvm("1 3:1 2:1\n", 0).unwrap_err();
+        assert!(e.message.contains("increasing"));
+    }
+
+    #[test]
+    fn error_missing_colon() {
+        let e = parse_libsvm("1 17\n", 0).unwrap_err();
+        assert!(e.message.contains("missing ':'"));
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let d = parse_libsvm("1 1:0 2:5\n", 0).unwrap();
+        assert_eq!(d.x.row(0).indices, &[1]);
+    }
+}

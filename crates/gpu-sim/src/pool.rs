@@ -1,0 +1,187 @@
+//! Host-side parallel execution helpers.
+//!
+//! The simulator charges *modeled* time, but the numeric work is real and
+//! can genuinely run on several host threads (CMP-SVM, LibSVM-with-OpenMP
+//! equivalents, and the batched kernel-row products). These helpers give a
+//! deterministic fork/join over index ranges built on `crossbeam` scoped
+//! threads — results are merged in chunk order, so output never depends on
+//! scheduling.
+
+/// Split `0..len` into at most `threads` contiguous chunks and run `work`
+/// on each (in parallel when `threads > 1`), passing the chunk range.
+///
+/// `work` must be safe to run concurrently on disjoint ranges.
+pub fn parallel_for_chunks<F>(threads: usize, len: usize, work: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || len <= 1 {
+        work(0..len);
+        return;
+    }
+    let nchunks = threads.min(len);
+    let chunk = len.div_ceil(nchunks);
+    crossbeam::thread::scope(|s| {
+        for c in 0..nchunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            let work = &work;
+            s.spawn(move |_| work(start..end));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map-reduce over `0..len`: each chunk folds with `fold`, chunk
+/// results are combined in chunk order with `combine`. Deterministic for
+/// non-associative floating-point reductions as long as the thread count is
+/// fixed.
+pub fn parallel_fold<T, F, C>(threads: usize, len: usize, init: T, fold: F, combine: C) -> T
+where
+    T: Send + Clone,
+    F: Fn(T, std::ops::Range<usize>) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let threads = threads.max(1);
+    if threads == 1 || len <= 1 {
+        return fold(init, 0..len);
+    }
+    let nchunks = threads.min(len);
+    let chunk = len.div_ceil(nchunks);
+    let mut partials: Vec<Option<T>> = vec![None; nchunks];
+    crossbeam::thread::scope(|s| {
+        for (c, slot) in partials.iter_mut().enumerate() {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            let fold = &fold;
+            let seed = init.clone();
+            s.spawn(move |_| {
+                *slot = Some(fold(seed, start..end));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut acc = init;
+    for p in partials.into_iter().flatten() {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Fill `out[i] = f(i)` for all `i`, in parallel chunks.
+///
+/// # Safety-free parallel writes
+/// Each chunk receives a disjoint `&mut` sub-slice, so no synchronization
+/// is needed.
+pub fn parallel_fill<T, F>(threads: usize, out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1);
+    let len = out.len();
+    if threads == 1 || len <= 1 {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+        return;
+    }
+    let nchunks = threads.min(len);
+    let chunk = len.div_ceil(nchunks);
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        let mut offset = 0usize;
+        for _ in 0..nchunks {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            let base = offset;
+            s.spawn(move |_| {
+                for (i, o) in head.iter_mut().enumerate() {
+                    *o = f(base + i);
+                }
+            });
+            offset += take;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        for threads in [1usize, 2, 3, 7] {
+            for len in [0usize, 1, 5, 100] {
+                let seen = (0..len).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+                parallel_for_chunks(threads, len, |r| {
+                    for i in r {
+                        seen[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+                assert!(
+                    seen.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+                    "threads={threads} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_matches_serial_sum() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let serial: f64 = data.iter().sum();
+        for threads in [1usize, 2, 4] {
+            let got = parallel_fold(
+                threads,
+                data.len(),
+                0.0f64,
+                |acc, r| acc + data[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            );
+            assert!((got - serial).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fold_is_deterministic_per_thread_count() {
+        let data: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        let once = parallel_fold(3, data.len(), 0.0, |a, r| a + data[r].iter().sum::<f64>(), |a, b| a + b);
+        for _ in 0..5 {
+            let again =
+                parallel_fold(3, data.len(), 0.0, |a, r| a + data[r].iter().sum::<f64>(), |a, b| a + b);
+            assert_eq!(once.to_bits(), again.to_bits());
+        }
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        for threads in [1usize, 2, 5] {
+            let mut out = vec![0usize; 37];
+            parallel_fill(threads, &mut out, |i| i * 2);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+        }
+    }
+
+    #[test]
+    fn fill_empty_is_noop() {
+        let mut out: Vec<u8> = vec![];
+        parallel_fill(4, &mut out, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let mut out = vec![0; 2];
+        parallel_fill(16, &mut out, |i| i + 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Data-parallel reduction primitives with cost accounting.
+//!
+//! §3.2 of the paper: working-set selection (Step 1 of SMO) is a parallel
+//! reduction on the GPU — "each thread compares two elements and discards
+//! the larger/smaller one until only one element is left". These helpers
+//! perform the reduction on the host and charge the equivalent
+//! tree-reduction launch to the supplied executor.
+
+use crate::cost::KernelCost;
+use crate::exec::Executor;
+
+/// Index and value of an extremum found by a reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArgExtreme {
+    /// Position in the scanned slice (caller maps it back to instance ids).
+    pub index: usize,
+    /// Value at that position.
+    pub value: f64,
+}
+
+/// Argmin over `values[i]` restricted to `i` where `mask(i)` is true.
+/// Returns `None` if no index passes the mask. Ties resolve to the lowest
+/// index, matching a deterministic GPU reduction.
+pub fn argmin_masked<M>(exec: &dyn Executor, values: &[f64], mask: M) -> Option<ArgExtreme>
+where
+    M: Fn(usize) -> bool,
+{
+    exec.charge(KernelCost::reduction(values.len() as u64));
+    let mut best: Option<ArgExtreme> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if !mask(i) {
+            continue;
+        }
+        match best {
+            Some(b) if b.value <= v => {}
+            _ => best = Some(ArgExtreme { index: i, value: v }),
+        }
+    }
+    best
+}
+
+/// Argmax over `values[i]` restricted to `mask`. Ties resolve to the lowest
+/// index.
+pub fn argmax_masked<M>(exec: &dyn Executor, values: &[f64], mask: M) -> Option<ArgExtreme>
+where
+    M: Fn(usize) -> bool,
+{
+    exec.charge(KernelCost::reduction(values.len() as u64));
+    let mut best: Option<ArgExtreme> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if !mask(i) {
+            continue;
+        }
+        match best {
+            Some(b) if b.value >= v => {}
+            _ => best = Some(ArgExtreme { index: i, value: v }),
+        }
+    }
+    best
+}
+
+/// Sum of a slice, charged as one reduction launch.
+pub fn sum(exec: &dyn Executor, values: &[f64]) -> f64 {
+    exec.charge(KernelCost::reduction(values.len() as u64));
+    values.iter().sum()
+}
+
+/// Argmax of a *keyed* reduction: maximize `key(i)` over indices passing
+/// `mask`, used for the second-order working-set selection (Equation 5 of
+/// the paper, maximizing `(f_u - f_i)^2 / eta_i`).
+pub fn argmax_by_key<M, K>(exec: &dyn Executor, n: usize, mask: M, key: K) -> Option<ArgExtreme>
+where
+    M: Fn(usize) -> bool,
+    K: Fn(usize) -> f64,
+{
+    // Keyed reductions evaluate the key per element: charge a map+reduce.
+    exec.charge(KernelCost::map(n as u64, 6, 16));
+    exec.charge(KernelCost::reduction(n as u64));
+    let mut best: Option<ArgExtreme> = None;
+    for i in 0..n {
+        if !mask(i) {
+            continue;
+        }
+        let v = key(i);
+        match best {
+            Some(b) if b.value >= v => {}
+            _ => best = Some(ArgExtreme { index: i, value: v }),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HostConfig;
+    use crate::exec::CpuExecutor;
+
+    fn exec() -> CpuExecutor {
+        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+    }
+
+    #[test]
+    fn argmin_unmasked() {
+        let e = exec();
+        let r = argmin_masked(&e, &[3.0, 1.0, 2.0], |_| true).unwrap();
+        assert_eq!(r.index, 1);
+        assert_eq!(r.value, 1.0);
+        assert!(e.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn argmin_respects_mask() {
+        let e = exec();
+        let r = argmin_masked(&e, &[3.0, 1.0, 2.0], |i| i != 1).unwrap();
+        assert_eq!(r.index, 2);
+    }
+
+    #[test]
+    fn empty_mask_returns_none() {
+        let e = exec();
+        assert!(argmin_masked(&e, &[1.0, 2.0], |_| false).is_none());
+        assert!(argmax_masked(&e, &[1.0, 2.0], |_| false).is_none());
+    }
+
+    #[test]
+    fn argmax_ties_pick_first() {
+        let e = exec();
+        let r = argmax_masked(&e, &[5.0, 5.0, 1.0], |_| true).unwrap();
+        assert_eq!(r.index, 0);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let e = exec();
+        assert_eq!(sum(&e, &[1.0, 2.0, 3.5]), 6.5);
+    }
+
+    #[test]
+    fn keyed_argmax() {
+        let e = exec();
+        // maximize -(i as f64 - 2)^2 -> i = 2
+        let r = argmax_by_key(&e, 5, |_| true, |i| -((i as f64 - 2.0).powi(2))).unwrap();
+        assert_eq!(r.index, 2);
+    }
+
+    #[test]
+    fn reductions_charge_time() {
+        let e = exec();
+        let before = e.elapsed();
+        let _ = sum(&e, &vec![1.0; 100_000]);
+        assert!(e.elapsed() > before);
+    }
+}

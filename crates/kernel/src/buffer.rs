@@ -1,0 +1,418 @@
+//! The GPU kernel-row buffer of §3.3.1.
+//!
+//! A pre-allocated region of device memory holding up to `capacity` full
+//! rows of the kernel matrix. Batches of `q` rows are inserted together and
+//! evicted together (first-in-first-out batch replacement, the paper's
+//! choice); an LRU row-granular policy is included for the ablation the
+//! paper declares out of scope ("finding the best strategy for replacement
+//! is out of the scope of this paper").
+
+use gmp_gpusim::{Device, DeviceAlloc, DeviceError};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Row replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict whole insertion batches, oldest first (the paper's policy).
+    FifoBatch,
+    /// Evict individual least-recently-used rows (ablation alternative).
+    Lru,
+}
+
+/// Hit/miss/eviction counters for a buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// `get` calls that found the row resident.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Rows evicted to make room.
+    pub evictions: u64,
+    /// Rows inserted.
+    pub insertions: u64,
+}
+
+impl BufferStats {
+    /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A capacity-bounded store of kernel-matrix rows (each `width` wide).
+///
+/// Storage is a flat `capacity x width` block claimed from the simulated
+/// device up front — mirroring the paper's pre-allocated GPU buffer.
+pub struct KernelBuffer {
+    width: usize,
+    capacity: usize,
+    storage: Vec<f64>,
+    /// instance id -> slot
+    slot_of: HashMap<u32, usize>,
+    /// slot -> instance id (u32::MAX = free)
+    id_of: Vec<u32>,
+    free_slots: Vec<usize>,
+    /// FIFO of insertion batches (ids may have been evicted individually
+    /// by pinning; stale entries are skipped).
+    batches: VecDeque<Vec<u32>>,
+    /// LRU clock: id -> last-touch tick.
+    last_used: HashMap<u32, u64>,
+    tick: u64,
+    policy: ReplacementPolicy,
+    stats: BufferStats,
+    _device_mem: Option<DeviceAlloc>,
+}
+
+impl KernelBuffer {
+    /// Create a buffer of `capacity` rows of `width` values, claiming the
+    /// storage from `device` when given (fails if the device is out of
+    /// memory — the constraint that bounds buffer size in practice).
+    pub fn new(
+        capacity: usize,
+        width: usize,
+        policy: ReplacementPolicy,
+        device: Option<&Device>,
+    ) -> Result<Self, DeviceError> {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        let bytes = (capacity * width * std::mem::size_of::<f64>()) as u64;
+        let device_mem = match device {
+            Some(d) => Some(d.alloc(bytes)?),
+            None => None,
+        };
+        Ok(KernelBuffer {
+            width,
+            capacity,
+            storage: vec![0.0; capacity * width],
+            slot_of: HashMap::with_capacity(capacity),
+            id_of: vec![u32::MAX; capacity],
+            free_slots: (0..capacity).rev().collect(),
+            batches: VecDeque::new(),
+            last_used: HashMap::new(),
+            tick: 0,
+            policy,
+            stats: BufferStats::default(),
+        _device_mem: device_mem,
+        })
+    }
+
+    /// Row width in values.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently resident.
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Is the row for instance `id` resident (no stat/LRU side effects)?
+    pub fn contains(&self, id: u32) -> bool {
+        self.slot_of.contains_key(&id)
+    }
+
+    /// Look up the row for instance `id`, counting a hit or miss and
+    /// touching the LRU clock.
+    pub fn get(&mut self, id: u32) -> Option<&[f64]> {
+        match self.slot_of.get(&id).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.tick += 1;
+                self.last_used.insert(id, self.tick);
+                Some(&self.storage[slot * self.width..(slot + 1) * self.width])
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Borrow a resident row without stat side effects.
+    ///
+    /// # Panics
+    /// Panics if the row is not resident.
+    pub fn row(&self, id: u32) -> &[f64] {
+        let slot = *self
+            .slot_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("row {id} not resident in kernel buffer"));
+        &self.storage[slot * self.width..(slot + 1) * self.width]
+    }
+
+    /// Mutably borrow a resident row (to fill it after insertion).
+    ///
+    /// # Panics
+    /// Panics if the row is not resident.
+    pub fn row_mut(&mut self, id: u32) -> &mut [f64] {
+        let slot = *self
+            .slot_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("row {id} not resident in kernel buffer"));
+        &mut self.storage[slot * self.width..(slot + 1) * self.width]
+    }
+
+    /// Insert a batch of rows (contents filled afterwards via
+    /// [`KernelBuffer::row_mut`]), evicting per the policy as needed.
+    ///
+    /// Rows whose id is in `pinned` are never evicted — the solver pins its
+    /// current working set so that making room for new violators cannot
+    /// invalidate rows it is about to use.
+    ///
+    /// # Panics
+    /// Panics if `ids.len()` plus the number of pinned resident rows
+    /// exceeds capacity, or if any id in `ids` is already resident.
+    pub fn insert_batch(&mut self, ids: &[u32], pinned: &[u32]) {
+        assert!(
+            ids.len() <= self.capacity,
+            "batch of {} exceeds buffer capacity {}",
+            ids.len(),
+            self.capacity
+        );
+        for &id in ids {
+            assert!(!self.contains(id), "row {id} already resident");
+        }
+        let pinned_resident = pinned.iter().filter(|&&p| self.contains(p)).count();
+        assert!(
+            pinned_resident + ids.len() <= self.capacity,
+            "pinned rows ({pinned_resident}) + batch ({}) exceed capacity {}",
+            ids.len(),
+            self.capacity
+        );
+        while self.free_slots.len() < ids.len() {
+            self.evict_some(pinned);
+        }
+        for &id in ids {
+            let slot = self.free_slots.pop().expect("free slot");
+            self.slot_of.insert(id, slot);
+            self.id_of[slot] = id;
+            self.tick += 1;
+            self.last_used.insert(id, self.tick);
+            self.stats.insertions += 1;
+        }
+        self.batches.push_back(ids.to_vec());
+    }
+
+    fn evict_some(&mut self, pinned: &[u32]) {
+        match self.policy {
+            ReplacementPolicy::FifoBatch => {
+                // Pop oldest batches, evicting their still-resident unpinned
+                // rows, until something was freed. Batches whose rows are
+                // all pinned are held aside (NOT re-examined this call) and
+                // put back at the front afterwards so they stay oldest.
+                let mut held: Vec<Vec<u32>> = Vec::new();
+                let mut evicted_any = false;
+                while !evicted_any {
+                    let Some(batch) = self.batches.pop_front() else {
+                        panic!("buffer full of pinned rows: eviction impossible");
+                    };
+                    let mut survivors = Vec::new();
+                    for id in batch {
+                        if !self.contains(id) {
+                            continue; // already evicted (stale entry)
+                        }
+                        if pinned.contains(&id) {
+                            survivors.push(id);
+                            continue;
+                        }
+                        self.evict_row(id);
+                        evicted_any = true;
+                    }
+                    if !survivors.is_empty() {
+                        held.push(survivors);
+                    }
+                }
+                for batch in held.into_iter().rev() {
+                    self.batches.push_front(batch);
+                }
+            }
+            ReplacementPolicy::Lru => {
+                let victim = self
+                    .slot_of
+                    .keys()
+                    .filter(|id| !pinned.contains(id))
+                    .min_by_key(|id| self.last_used.get(id).copied().unwrap_or(0))
+                    .copied()
+                    .expect("buffer full of pinned rows: eviction impossible");
+                self.evict_row(victim);
+            }
+        }
+    }
+
+    fn evict_row(&mut self, id: u32) {
+        if let Some(slot) = self.slot_of.remove(&id) {
+            self.id_of[slot] = u32::MAX;
+            self.free_slots.push(slot);
+            self.last_used.remove(&id);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drop all resident rows (statistics are preserved).
+    pub fn clear(&mut self) {
+        self.slot_of.clear();
+        self.last_used.clear();
+        self.batches.clear();
+        self.id_of.fill(u32::MAX);
+        self.free_slots = (0..self.capacity).rev().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_gpusim::DeviceConfig;
+
+    fn buf(cap: usize, policy: ReplacementPolicy) -> KernelBuffer {
+        KernelBuffer::new(cap, 4, policy, None).unwrap()
+    }
+
+    fn fill(b: &mut KernelBuffer, id: u32, v: f64) {
+        b.row_mut(id).fill(v);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut b = buf(4, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[7, 9], &[]);
+        fill(&mut b, 7, 1.5);
+        fill(&mut b, 9, 2.5);
+        assert_eq!(b.get(7).unwrap(), &[1.5; 4]);
+        assert_eq!(b.get(9).unwrap(), &[2.5; 4]);
+        assert_eq!(b.len(), 2);
+        let s = b.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 0, 2));
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let mut b = buf(2, ReplacementPolicy::FifoBatch);
+        assert!(b.get(1).is_none());
+        assert_eq!(b.stats().misses, 1);
+        assert_eq!(b.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_batch() {
+        let mut b = buf(4, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[1, 2], &[]);
+        b.insert_batch(&[3, 4], &[]);
+        b.insert_batch(&[5, 6], &[]); // evicts batch {1,2}
+        assert!(!b.contains(1));
+        assert!(!b.contains(2));
+        assert!(b.contains(3) && b.contains(4) && b.contains(5) && b.contains(6));
+        assert_eq!(b.stats().evictions, 2);
+    }
+
+    #[test]
+    fn fifo_skips_pinned_rows() {
+        let mut b = buf(4, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[1, 2], &[]);
+        b.insert_batch(&[3, 4], &[]);
+        // Pin 1: evicting the oldest batch must spare it.
+        b.insert_batch(&[5], &[1]);
+        assert!(b.contains(1));
+        assert!(!b.contains(2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut b = buf(3, ReplacementPolicy::Lru);
+        b.insert_batch(&[1], &[]);
+        b.insert_batch(&[2], &[]);
+        b.insert_batch(&[3], &[]);
+        let _ = b.get(1); // touch 1; LRU victim becomes 2
+        b.insert_batch(&[4], &[]);
+        assert!(b.contains(1));
+        assert!(!b.contains(2));
+    }
+
+    #[test]
+    fn device_memory_is_claimed_and_released() {
+        let dev = Device::new(DeviceConfig::tiny_test(1024));
+        {
+            let b = KernelBuffer::new(4, 8, ReplacementPolicy::FifoBatch, Some(&dev)).unwrap();
+            assert_eq!(dev.mem_used(), 4 * 8 * 8);
+            drop(b);
+        }
+        assert_eq!(dev.mem_used(), 0);
+    }
+
+    #[test]
+    fn oversized_buffer_fails_on_device() {
+        let dev = Device::new(DeviceConfig::tiny_test(100));
+        let err = KernelBuffer::new(4, 8, ReplacementPolicy::FifoBatch, Some(&dev));
+        assert!(matches!(err, Err(DeviceError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer capacity")]
+    fn batch_larger_than_capacity_panics() {
+        let mut b = buf(2, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[1, 2, 3], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut b = buf(4, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[1], &[]);
+        b.insert_batch(&[1], &[]);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut b = buf(2, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[1, 2], &[]);
+        let _ = b.get(1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.stats().hits, 1);
+        b.insert_batch(&[3, 4], &[]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn rows_are_isolated() {
+        let mut b = buf(3, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[10, 20, 30], &[]);
+        fill(&mut b, 10, 1.0);
+        fill(&mut b, 20, 2.0);
+        fill(&mut b, 30, 3.0);
+        assert_eq!(b.row(10), &[1.0; 4]);
+        assert_eq!(b.row(20), &[2.0; 4]);
+        assert_eq!(b.row(30), &[3.0; 4]);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut b = buf(2, ReplacementPolicy::FifoBatch);
+        b.insert_batch(&[1, 2], &[]);
+        fill(&mut b, 1, 1.0);
+        b.insert_batch(&[3], &[]); // evicts batch {1,2}
+        fill(&mut b, 3, 3.0);
+        assert_eq!(b.row(3), &[3.0; 4]);
+        assert!(!b.contains(1));
+        assert_eq!(b.len(), 1);
+    }
+}

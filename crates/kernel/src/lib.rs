@@ -1,0 +1,27 @@
+//! Kernel functions, batched kernel-row computation, and the two kernel
+//! caching structures at the heart of GMP-SVM:
+//!
+//! * [`KernelBuffer`] — the binary-SVM-level GPU buffer of §3.3.1: a
+//!   pre-allocated region holding whole rows of the kernel matrix with
+//!   first-in-first-out *batch* replacement (an LRU policy is provided for
+//!   the ablation study the paper leaves as out of scope).
+//! * [`SharedKernelStore`] — the MP-SVM-level structure of §3.3.2 / Fig. 3:
+//!   kernel rows are stored as *class segments* so that the segment
+//!   `(instance i, class c)` computed for binary problem `(s, c)` is reused
+//!   by every other problem involving class `c`.
+//!
+//! The [`KernelRows`] trait is the interface SMO solvers consume; both the
+//! buffered (per-problem) and shared (cross-problem) providers implement
+//! it, so the same solver code runs in every backend.
+
+pub mod buffer;
+pub mod functions;
+pub mod oracle;
+pub mod rows;
+pub mod shared;
+
+pub use buffer::{BufferStats, KernelBuffer, ReplacementPolicy};
+pub use functions::KernelKind;
+pub use oracle::KernelOracle;
+pub use rows::{BufferedRows, KernelRows, RowProviderStats};
+pub use shared::{ClassLayout, SharedKernelStore, SharedRows};

@@ -1,0 +1,505 @@
+//! MP-SVM-level kernel value sharing (§3.3.2, Fig. 3).
+//!
+//! The training data is arranged class-contiguously. A kernel row of
+//! instance `i` restricted to the columns of class `c` is a *segment*
+//! `(i, c)`; binary problem `(s, t)` needs segments `(i, s)` and `(i, t)`
+//! for each of its working-set instances `i`. Because instance `i` (of
+//! class `s`) participates in `k-1` binary problems, its segment `(i, s)`
+//! computed once is reused by all of them — the paper's reduction of the
+//! 12 kernel blocks of Fig. 3a to the 9 of Fig. 3b generalized to any `k`.
+//!
+//! [`SharedKernelStore`] owns the segments (device-memory accounted, FIFO
+//! eviction); [`SharedRows`] is the per-problem [`KernelRows`] view that
+//! assembles `(s, t)` rows from segments.
+
+use crate::oracle::KernelOracle;
+use crate::rows::{KernelRows, RowProviderStats};
+use gmp_gpusim::{Device, DeviceAlloc, DeviceError, Executor};
+use gmp_sparse::DenseMatrix;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Class-contiguous layout of a grouped dataset: class `c` occupies global
+/// row indices `offsets[c]..offsets[c+1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassLayout {
+    offsets: Vec<usize>,
+}
+
+impl ClassLayout {
+    /// Build from per-class offsets (length `k + 1`, non-decreasing,
+    /// starting at 0).
+    pub fn new(offsets: Vec<usize>) -> Self {
+        assert!(offsets.len() >= 2, "need at least one class");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        ClassLayout { offsets }
+    }
+
+    /// Number of classes.
+    pub fn k(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of instances.
+    pub fn n(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Global row range of class `c`.
+    pub fn class_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.offsets[c]..self.offsets[c + 1]
+    }
+
+    /// Number of instances of class `c`.
+    pub fn class_size(&self, c: usize) -> usize {
+        self.offsets[c + 1] - self.offsets[c]
+    }
+
+    /// Size of binary problem `(s, t)`.
+    pub fn pair_size(&self, s: usize, t: usize) -> usize {
+        self.class_size(s) + self.class_size(t)
+    }
+}
+
+/// Statistics of the shared store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedStoreStats {
+    /// Segments computed (each is one batched-launch participant).
+    pub segments_computed: u64,
+    /// Segment requests served from the store.
+    pub segment_hits: u64,
+    /// Kernel evaluations avoided thanks to hits (sum of hit widths).
+    pub evals_saved: u64,
+    /// Segments evicted.
+    pub evictions: u64,
+}
+
+struct StoreInner {
+    segs: HashMap<(u32, u16), Vec<f64>>,
+    order: VecDeque<(u32, u16)>,
+    used_bytes: u64,
+    stats: SharedStoreStats,
+}
+
+/// Cross-problem segment store with a byte budget claimed from the device.
+pub struct SharedKernelStore {
+    oracle: Arc<KernelOracle>,
+    layout: ClassLayout,
+    capacity_bytes: u64,
+    inner: Mutex<StoreInner>,
+    _device_mem: Option<DeviceAlloc>,
+}
+
+impl SharedKernelStore {
+    /// A store with a `capacity_bytes` budget over the grouped dataset
+    /// served by `oracle`. The budget is claimed from `device` up front
+    /// (the paper pre-allocates its buffers).
+    pub fn new(
+        oracle: Arc<KernelOracle>,
+        layout: ClassLayout,
+        capacity_bytes: u64,
+        device: Option<&Device>,
+    ) -> Result<Self, DeviceError> {
+        assert_eq!(oracle.n(), layout.n(), "oracle/layout size mismatch");
+        let device_mem = match device {
+            Some(d) => Some(d.alloc(capacity_bytes)?),
+            None => None,
+        };
+        Ok(SharedKernelStore {
+            oracle,
+            layout,
+            capacity_bytes,
+            inner: Mutex::new(StoreInner {
+                segs: HashMap::new(),
+                order: VecDeque::new(),
+                used_bytes: 0,
+                stats: SharedStoreStats::default(),
+            }),
+            _device_mem: device_mem,
+        })
+    }
+
+    /// The grouped-dataset oracle.
+    pub fn oracle(&self) -> &Arc<KernelOracle> {
+        &self.oracle
+    }
+
+    /// The class layout.
+    pub fn layout(&self) -> &ClassLayout {
+        &self.layout
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> SharedStoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Fetch rows of binary problem `(s, t)` for global instances
+    /// `global_ids` into `out` (shape `ids.len() x (n_s + n_t)`, columns
+    /// ordered `[class s | class t]`). Missing segments are computed in at
+    /// most two batched launches (one per class) charged to `exec`.
+    ///
+    /// Returns `(segments_computed, segments_hit)` for this call.
+    pub fn fetch_pair_rows(
+        &self,
+        exec: &dyn Executor,
+        global_ids: &[usize],
+        s: usize,
+        t: usize,
+        out: &mut DenseMatrix,
+    ) -> (u64, u64) {
+        assert!(s < t, "class pair must be ordered");
+        let ns = self.layout.class_size(s);
+        let nt = self.layout.class_size(t);
+        assert_eq!(out.nrows(), global_ids.len());
+        assert_eq!(out.ncols(), ns + nt);
+        let mut inner = self.inner.lock();
+        let mut computed = 0u64;
+        let mut hits = 0u64;
+        for (cls, col_off, width) in [(s as u16, 0usize, ns), (t as u16, ns, nt)] {
+            // Partition into hits (copy now) and misses (batch-compute).
+            let mut missing: Vec<usize> = Vec::new();
+            for (ri, &gid) in global_ids.iter().enumerate() {
+                if let Some(seg) = inner.segs.get(&(gid as u32, cls)) {
+                    out.row_mut(ri)[col_off..col_off + width].copy_from_slice(seg);
+                    inner.stats.segment_hits += 1;
+                    inner.stats.evals_saved += width as u64;
+                    hits += 1;
+                } else {
+                    missing.push(ri);
+                }
+            }
+            if missing.is_empty() {
+                continue;
+            }
+            let miss_ids: Vec<usize> = missing.iter().map(|&ri| global_ids[ri]).collect();
+            let mut block = DenseMatrix::zeros(miss_ids.len(), width);
+            self.oracle
+                .compute_rows_range(exec, &miss_ids, self.layout.class_range(cls as usize), &mut block);
+            inner.stats.segments_computed += miss_ids.len() as u64;
+            computed += miss_ids.len() as u64;
+            // Store the new segments (evicting FIFO, skipping segments of
+            // the instances involved in this very call).
+            let seg_bytes = (width * std::mem::size_of::<f64>()) as u64;
+            for (bi, &ri) in missing.iter().enumerate() {
+                let gid = global_ids[ri] as u32;
+                out.row_mut(ri)[col_off..col_off + width].copy_from_slice(block.row(bi));
+                if seg_bytes > self.capacity_bytes {
+                    continue; // segment alone exceeds budget: serve uncached
+                }
+                while inner.used_bytes + seg_bytes > self.capacity_bytes {
+                    if !Self::evict_one(&mut inner, global_ids) {
+                        break;
+                    }
+                }
+                if inner.used_bytes + seg_bytes <= self.capacity_bytes {
+                    inner.segs.insert((gid, cls), block.row(bi).to_vec());
+                    inner.order.push_back((gid, cls));
+                    inner.used_bytes += seg_bytes;
+                }
+            }
+        }
+        (computed, hits)
+    }
+
+    /// Evict the oldest segment not belonging to `protected_ids`.
+    /// Returns false if nothing evictable remains.
+    fn evict_one(inner: &mut StoreInner, protected_ids: &[usize]) -> bool {
+        let mut scanned = 0;
+        while scanned < inner.order.len() {
+            let key = inner.order.pop_front().expect("non-empty order queue");
+            scanned += 1;
+            if !inner.segs.contains_key(&key) {
+                continue; // stale
+            }
+            if protected_ids.iter().any(|&g| g as u32 == key.0) {
+                inner.order.push_back(key);
+                continue;
+            }
+            let seg = inner.segs.remove(&key).expect("checked above");
+            inner.used_bytes -= (seg.len() * std::mem::size_of::<f64>()) as u64;
+            inner.stats.evictions += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Bytes of segments currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes
+    }
+}
+
+/// Per-problem [`KernelRows`] view over a [`SharedKernelStore`].
+///
+/// Local indices `0..n_s` map to class `s`, `n_s..n_s+n_t` to class `t`.
+/// Assembled rows live in a host-side working-set cache (the device memory
+/// for the underlying values is accounted by the store — assembled rows are
+/// views in the real system, so they are not double-charged here).
+pub struct SharedRows {
+    store: Arc<SharedKernelStore>,
+    s: usize,
+    t: usize,
+    ns: usize,
+    nt: usize,
+    ws_capacity: usize,
+    resident: HashMap<usize, Vec<f64>>,
+    order: VecDeque<usize>,
+    stats: RowProviderStats,
+}
+
+impl SharedRows {
+    /// A view of binary problem `(s, t)` whose working-set cache holds up
+    /// to `ws_capacity` assembled rows.
+    pub fn new(store: Arc<SharedKernelStore>, s: usize, t: usize, ws_capacity: usize) -> Self {
+        assert!(s < t, "class pair must be ordered");
+        assert!(t < store.layout().k(), "class out of range");
+        let ns = store.layout().class_size(s);
+        let nt = store.layout().class_size(t);
+        SharedRows {
+            store,
+            s,
+            t,
+            ns,
+            nt,
+            ws_capacity: ws_capacity.max(2),
+            resident: HashMap::new(),
+            order: VecDeque::new(),
+            stats: RowProviderStats::default(),
+        }
+    }
+
+    /// Map a local problem index to the global grouped index.
+    pub fn to_global(&self, local: usize) -> usize {
+        if local < self.ns {
+            self.store.layout().class_range(self.s).start + local
+        } else {
+            self.store.layout().class_range(self.t).start + (local - self.ns)
+        }
+    }
+}
+
+impl KernelRows for SharedRows {
+    fn n(&self) -> usize {
+        self.ns + self.nt
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.store.oracle().diag(self.to_global(i))
+    }
+
+    fn ensure(&mut self, exec: &dyn Executor, ids: &[usize]) {
+        assert!(
+            ids.len() <= self.ws_capacity,
+            "working set of {} exceeds capacity {}",
+            ids.len(),
+            self.ws_capacity
+        );
+        let missing: Vec<usize> = ids.iter().copied().filter(|i| !self.resident.contains_key(i)).collect();
+        self.stats.buffer_hits += (ids.len() - missing.len()) as u64;
+        self.stats.buffer_misses += missing.len() as u64;
+        if missing.is_empty() {
+            return;
+        }
+        // Make room, FIFO, never evicting requested rows.
+        while self.resident.len() + missing.len() > self.ws_capacity {
+            let Some(victim) = self.order.pop_front() else { break };
+            if ids.contains(&victim) {
+                self.order.push_back(victim);
+                continue;
+            }
+            if self.resident.remove(&victim).is_some() {
+                self.stats.evictions += 1;
+            }
+        }
+        let globals: Vec<usize> = missing.iter().map(|&l| self.to_global(l)).collect();
+        let evals_before = self.store.oracle().eval_count();
+        let mut block = DenseMatrix::zeros(missing.len(), self.n());
+        let (computed, _hits) = self
+            .store
+            .fetch_pair_rows(exec, &globals, self.s, self.t, &mut block);
+        self.stats.kernel_evals += self.store.oracle().eval_count() - evals_before;
+        self.stats.rows_computed += computed.div_ceil(2).min(missing.len() as u64);
+        for (bi, &l) in missing.iter().enumerate() {
+            self.resident.insert(l, block.row(bi).to_vec());
+            self.order.push_back(l);
+        }
+    }
+
+    fn row(&self, id: usize) -> &[f64] {
+        self.resident
+            .get(&id)
+            .unwrap_or_else(|| panic!("row {id} not resident in shared working set"))
+    }
+
+    fn is_resident(&self, id: usize) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    fn stats(&self) -> RowProviderStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::KernelKind;
+    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_sparse::CsrMatrix;
+
+    /// 6 instances, 3 classes of 2 (grouped): layout [0,2,4,6].
+    fn store(capacity: u64) -> Arc<SharedKernelStore> {
+        let data = Arc::new(CsrMatrix::from_dense(
+            &[
+                vec![1.0, 0.0],
+                vec![0.9, 0.1],
+                vec![0.0, 1.0],
+                vec![0.1, 0.9],
+                vec![1.0, 1.0],
+                vec![0.9, 1.1],
+            ],
+            2,
+        ));
+        let oracle = Arc::new(KernelOracle::new(data, KernelKind::Rbf { gamma: 1.0 }));
+        Arc::new(
+            SharedKernelStore::new(oracle, ClassLayout::new(vec![0, 2, 4, 6]), capacity, None)
+                .unwrap(),
+        )
+    }
+
+    fn exec() -> CpuExecutor {
+        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+    }
+
+    #[test]
+    fn layout_accessors() {
+        let l = ClassLayout::new(vec![0, 2, 4, 6]);
+        assert_eq!(l.k(), 3);
+        assert_eq!(l.n(), 6);
+        assert_eq!(l.class_range(1), 2..4);
+        assert_eq!(l.class_size(2), 2);
+        assert_eq!(l.pair_size(0, 2), 4);
+    }
+
+    #[test]
+    fn fetch_matches_oracle() {
+        let st = store(1 << 20);
+        let e = exec();
+        let mut out = DenseMatrix::zeros(1, 4);
+        st.fetch_pair_rows(&e, &[0], 0, 1, &mut out);
+        // Columns: class 0 (globals 0,1), class 1 (globals 2,3).
+        for (col, j) in [(0usize, 0usize), (1, 1), (2, 2), (3, 3)] {
+            let expect = st.oracle().eval_pair(0, j);
+            assert!((out.get(0, col) - expect).abs() < 1e-12, "col {col}");
+        }
+    }
+
+    #[test]
+    fn segments_are_shared_across_problems() {
+        let st = store(1 << 20);
+        let e = exec();
+        // Problem (0,1) touches segment (instance 0, class 0).
+        let mut o1 = DenseMatrix::zeros(1, 4);
+        st.fetch_pair_rows(&e, &[0], 0, 1, &mut o1);
+        // Problem (0,2) reuses segment (0, class 0): 1 hit expected.
+        let mut o2 = DenseMatrix::zeros(1, 4);
+        let (_computed, hits) = st.fetch_pair_rows(&e, &[0], 0, 2, &mut o2);
+        assert_eq!(hits, 1);
+        assert!(st.stats().evals_saved >= 2);
+        // Shared column values agree.
+        assert_eq!(o1.get(0, 0), o2.get(0, 0));
+        assert_eq!(o1.get(0, 1), o2.get(0, 1));
+    }
+
+    #[test]
+    fn store_respects_byte_budget() {
+        // Each class segment is 2 values = 16 bytes; budget of 32 = 2 segs.
+        let st = store(32);
+        let e = exec();
+        let mut out = DenseMatrix::zeros(2, 4);
+        st.fetch_pair_rows(&e, &[0, 1], 0, 1, &mut out);
+        assert!(st.used_bytes() <= 32);
+        assert!(st.stats().evictions > 0 || st.used_bytes() == 32);
+    }
+
+    #[test]
+    fn shared_rows_local_global_mapping() {
+        let st = store(1 << 20);
+        let v = SharedRows::new(st, 1, 2, 8);
+        assert_eq!(v.n(), 4);
+        assert_eq!(v.to_global(0), 2);
+        assert_eq!(v.to_global(1), 3);
+        assert_eq!(v.to_global(2), 4);
+        assert_eq!(v.to_global(3), 5);
+    }
+
+    #[test]
+    fn shared_rows_ensure_and_row() {
+        let st = store(1 << 20);
+        let mut v = SharedRows::new(st.clone(), 0, 1, 8);
+        let e = exec();
+        v.ensure(&e, &[0, 2]);
+        assert!(v.is_resident(0) && v.is_resident(2));
+        let r = v.row(0); // instance global 0 vs [0,1,2,3]
+        assert_eq!(r.len(), 4);
+        assert!((r[0] - 1.0).abs() < 1e-12); // RBF self
+        let direct = st.oracle().eval_pair(0, 2);
+        assert!((r[2] - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_rows_diag() {
+        let st = store(1 << 20);
+        let v = SharedRows::new(st, 0, 2, 8);
+        for i in 0..4 {
+            assert_eq!(v.diag(i), 1.0);
+        }
+    }
+
+    #[test]
+    fn repeated_ensure_uses_local_cache() {
+        let st = store(1 << 20);
+        let mut v = SharedRows::new(st, 0, 1, 8);
+        let e = exec();
+        v.ensure(&e, &[1]);
+        let evals = v.stats().kernel_evals;
+        v.ensure(&e, &[1]);
+        assert_eq!(v.stats().kernel_evals, evals);
+        assert!(v.stats().buffer_hits >= 1);
+    }
+
+    #[test]
+    fn two_views_share_store_segments() {
+        let st = store(1 << 20);
+        let e = exec();
+        let mut v01 = SharedRows::new(st.clone(), 0, 1, 8);
+        let mut v02 = SharedRows::new(st.clone(), 0, 2, 8);
+        v01.ensure(&e, &[0, 1]); // computes segments (0,c0),(0,c1),(1,c0),(1,c1)
+        let before = st.stats().segment_hits;
+        v02.ensure(&e, &[0, 1]); // reuses (0,c0),(1,c0)
+        assert_eq!(st.stats().segment_hits - before, 2);
+    }
+
+    #[test]
+    fn ws_eviction_fifo() {
+        let st = store(1 << 20);
+        let mut v = SharedRows::new(st, 0, 1, 2);
+        let e = exec();
+        v.ensure(&e, &[0, 1]);
+        v.ensure(&e, &[2]); // evicts 0 (oldest)
+        assert!(!v.is_resident(0));
+        assert!(v.is_resident(1) && v.is_resident(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn row_panics_when_absent() {
+        let st = store(1 << 20);
+        let v = SharedRows::new(st, 0, 1, 4);
+        let _ = v.row(3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Decision values (Equation 11 of the paper).
+
+use gmp_gpusim::cost::KernelCost;
+use gmp_gpusim::Executor;
+use gmp_kernel::KernelOracle;
+use gmp_sparse::{CsrMatrix, DenseMatrix};
+
+/// Training-set decision values straight from the final optimality
+/// indicators: `v_i = f_i + y_i - rho`.
+///
+/// This is free — no kernel evaluation — and is how GMP-SVM feeds the
+/// sigmoid fit (`Algorithm 2`, line 13) without re-predicting the training
+/// set.
+pub fn decision_values_from_f(f: &[f64], y: &[f64], rho: f64) -> Vec<f64> {
+    assert_eq!(f.len(), y.len());
+    f.iter().zip(y).map(|(&fi, &yi)| fi + yi - rho).collect()
+}
+
+/// Decision values of external instances:
+/// `v = Σ_j y_j α_j K(x_j, x) - rho` over the support vectors.
+///
+/// `oracle` serves the training data; `test` holds the instances to score.
+/// One batched cross-kernel launch is charged, then one fused
+/// multiply-reduce per instance.
+pub fn decision_values_for(
+    exec: &dyn Executor,
+    oracle: &KernelOracle,
+    y: &[f64],
+    alpha: &[f64],
+    rho: f64,
+    test: &CsrMatrix,
+) -> Vec<f64> {
+    let n = oracle.n();
+    assert_eq!(y.len(), n);
+    assert_eq!(alpha.len(), n);
+    let m = test.nrows();
+    if m == 0 {
+        return Vec::new();
+    }
+    let test_rows: Vec<usize> = (0..m).collect();
+    let mut kmat = DenseMatrix::zeros(m, n);
+    oracle.compute_cross(exec, test, &test_rows, &mut kmat);
+    // Weighted reduction per test instance.
+    exec.charge(KernelCost::map(
+        (m * n) as u64,
+        2,
+        16,
+    ));
+    (0..m)
+        .map(|t| {
+            let row = kmat.row(t);
+            let mut v = 0.0;
+            for j in 0..n {
+                if alpha[j] > 0.0 {
+                    v += y[j] * alpha[j] * row[j];
+                }
+            }
+            v - rho
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_kernel::KernelKind;
+    use std::sync::Arc;
+
+    fn exec() -> CpuExecutor {
+        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+    }
+
+    #[test]
+    fn from_f_identity() {
+        let f = vec![-0.5, 0.5];
+        let y = vec![1.0, -1.0];
+        let v = decision_values_from_f(&f, &y, 0.25);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - (-0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_matches_training_identity() {
+        // Score the training set itself through the kernel path and check
+        // it agrees with the f-based identity.
+        let data = Arc::new(CsrMatrix::from_dense(
+            &[vec![-1.0], vec![-0.5], vec![0.5], vec![1.0]],
+            1,
+        ));
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let oracle = Arc::new(KernelOracle::new(data.clone(), KernelKind::Rbf { gamma: 1.0 }));
+        // Train a tiny SVM first.
+        let mut rows = gmp_kernel::BufferedRows::new(
+            oracle.clone(),
+            4,
+            gmp_kernel::ReplacementPolicy::FifoBatch,
+            None,
+        )
+        .unwrap();
+        let r = crate::classic::ClassicSmoSolver::new(crate::common::SmoParams::with_c(10.0))
+            .solve(&y, &mut rows, &exec());
+        let via_f = decision_values_from_f(&r.f, &y, r.rho);
+        let via_kernel = decision_values_for(&exec(), &oracle, &y, &r.alpha, r.rho, &data);
+        for i in 0..4 {
+            assert!(
+                (via_f[i] - via_kernel[i]).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                via_f[i],
+                via_kernel[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let data = Arc::new(CsrMatrix::from_dense(&[vec![1.0]], 1));
+        let oracle = KernelOracle::new(data, KernelKind::Linear);
+        let empty = CsrMatrix::empty(1);
+        let v = decision_values_for(&exec(), &oracle, &[1.0], &[0.0], 0.0, &empty);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! SMO solvers for binary SVM training (§2.1.1 and §3.3.1 of the paper).
+//!
+//! Two solvers over the same [`gmp_kernel::KernelRows`] interface:
+//!
+//! * [`ClassicSmoSolver`] — the two-instance working set of
+//!   Platt/LibSVM with the second-order heuristic of Fan, Chen & Lin
+//!   (Equations 4–10 of the paper). This is the reference the paper's
+//!   Table 4 compares against, and the per-binary-SVM algorithm of the GPU
+//!   baseline (§3.2).
+//! * [`BatchedSmoSolver`] — the GMP-SVM binary level (§3.3.1): select `q`
+//!   maximally-violating instances per round, compute their kernel rows in
+//!   one batched launch into the FIFO buffer, solve many SMO subproblems
+//!   against the buffered rows with δ-adaptive early termination, then
+//!   propagate the accumulated α changes to all optimality indicators.
+//!
+//! Both converge to the same optimum (same α support, bias and objective
+//! within the SMO tolerance) — asserted by tests here and by the Table 4
+//! experiment.
+
+pub mod batched;
+pub mod classic;
+pub mod common;
+pub mod decision;
+
+pub use batched::{BatchedParams, BatchedSmoSolver};
+pub use classic::ClassicSmoSolver;
+pub use common::{PhaseTimes, SmoParams, SolverResult, SolverTelemetry};
+pub use decision::{decision_values_for, decision_values_from_f};

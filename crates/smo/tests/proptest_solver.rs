@@ -1,0 +1,132 @@
+//! Property-based tests: solver invariants that must hold on *any* input.
+
+use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, KernelRows, ReplacementPolicy};
+use gmp_smo::common::{in_lower, in_upper};
+use gmp_smo::{BatchedParams, BatchedSmoSolver, ClassicSmoSolver, SmoParams, SolverResult};
+use gmp_sparse::CsrMatrix;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn exec() -> CpuExecutor {
+    CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+}
+
+/// Random small binary classification problem: points in [-1,1]^2 with
+/// labels balanced (at least one of each).
+fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (4usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-1.0..1.0f64, 2),
+                n,
+            ),
+            proptest::collection::vec(proptest::bool::ANY, n),
+        )
+            .prop_map(|(x, flags)| {
+                let mut y: Vec<f64> = flags.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+                // Guarantee both classes exist.
+                y[0] = 1.0;
+                let last = y.len() - 1;
+                y[last] = -1.0;
+                (x, y)
+            })
+    })
+}
+
+fn solve_classic(x: &[Vec<f64>], y: &[f64], c: f64, gamma: f64) -> SolverResult {
+    let m = Arc::new(CsrMatrix::from_dense(x, 2));
+    let oracle = Arc::new(KernelOracle::new(m, KernelKind::Rbf { gamma }));
+    let mut rows = BufferedRows::new(oracle, x.len(), ReplacementPolicy::Lru, None).unwrap();
+    ClassicSmoSolver::new(SmoParams {
+        c,
+        eps: 1e-3,
+        max_iter: 100_000,
+        shrinking: false,
+    })
+    .solve(y, &mut rows, &exec())
+}
+
+fn solve_batched(x: &[Vec<f64>], y: &[f64], c: f64, gamma: f64) -> SolverResult {
+    let m = Arc::new(CsrMatrix::from_dense(x, 2));
+    let oracle = Arc::new(KernelOracle::new(m, KernelKind::Rbf { gamma }));
+    let mut rows = BufferedRows::new(oracle, 8, ReplacementPolicy::FifoBatch, None).unwrap();
+    BatchedSmoSolver::new(BatchedParams {
+        base: SmoParams {
+            c,
+            eps: 1e-3,
+            max_iter: 100_000,
+            shrinking: false,
+        },
+        ws_size: 8,
+        q: 4,
+        inner_relax: 0.1,
+        max_inner: 64,
+    })
+    .solve(y, &mut rows, &exec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn classic_feasibility_and_kkt((x, y) in problem(), c in 0.5..8.0f64, gamma in 0.2..2.0f64) {
+        let r = solve_classic(&x, &y, c, gamma);
+        prop_assert!(r.converged);
+        // Box constraints.
+        prop_assert!(r.alpha.iter().all(|&a| (0.0..=c).contains(&a)));
+        // Equality constraint.
+        let s: f64 = r.alpha.iter().zip(&y).map(|(a, yi)| a * yi).sum();
+        prop_assert!(s.abs() < 1e-9, "sum y alpha = {}", s);
+        // KKT within eps.
+        let mut f_u = f64::INFINITY;
+        let mut f_max = f64::NEG_INFINITY;
+        for i in 0..y.len() {
+            if in_upper(y[i], r.alpha[i], c) { f_u = f_u.min(r.f[i]); }
+            if in_lower(y[i], r.alpha[i], c) { f_max = f_max.max(r.f[i]); }
+        }
+        prop_assert!(f_max - f_u < 1e-3 || !f_max.is_finite() || !f_u.is_finite());
+        // Minimized dual objective never exceeds the feasible point alpha=0.
+        prop_assert!(r.objective <= 1e-12, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn batched_matches_classic((x, y) in problem(), c in 0.5..8.0f64) {
+        let gamma = 0.8;
+        let classic = solve_classic(&x, &y, c, gamma);
+        let batched = solve_batched(&x, &y, c, gamma);
+        prop_assert!(batched.converged);
+        let tol = 2e-2 * classic.objective.abs().max(1.0);
+        prop_assert!(
+            (classic.objective - batched.objective).abs() < tol,
+            "objective {} vs {}", classic.objective, batched.objective
+        );
+        prop_assert!((classic.rho - batched.rho).abs() < 5e-2,
+            "rho {} vs {}", classic.rho, batched.rho);
+    }
+
+    #[test]
+    fn batched_feasible_under_any_geometry((x, y) in problem()) {
+        let r = solve_batched(&x, &y, 2.0, 1.0);
+        prop_assert!(r.alpha.iter().all(|&a| (0.0..=2.0).contains(&a)));
+        let s: f64 = r.alpha.iter().zip(&y).map(|(a, yi)| a * yi).sum();
+        prop_assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn indicators_consistent_with_alpha((x, y) in problem()) {
+        // f_i must equal sum_j alpha_j y_j K_ij - y_i at the solution.
+        let r = solve_classic(&x, &y, 4.0, 0.7);
+        let m = CsrMatrix::from_dense(&x, 2);
+        let oracle = KernelOracle::new(Arc::new(m), KernelKind::Rbf { gamma: 0.7 });
+        for i in 0..y.len() {
+            let mut fi = -y[i];
+            for j in 0..y.len() {
+                if r.alpha[j] > 0.0 {
+                    fi += r.alpha[j] * y[j] * oracle.eval_pair(i, j);
+                }
+            }
+            prop_assert!((fi - r.f[i]).abs() < 1e-8, "f[{}] {} vs {}", i, r.f[i], fi);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Sparse linear-algebra substrate for the GMP-SVM reproduction.
+//!
+//! The paper ("Efficient Multi-Class Probabilistic SVMs on GPUs", ICDE 2019)
+//! stores training data in CSR format and computes batches of kernel-matrix
+//! rows as sparse matrix products via cuSPARSE. This crate provides the
+//! equivalent primitives in pure Rust:
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrix with a validated builder,
+//! * [`SparseRow`] — a borrowed view of one row,
+//! * dot products between sparse rows and against dense scatter buffers,
+//! * [`ops::row_block_product`] — the "compute `q` kernel rows in one
+//!   execution" primitive of §3.3.1 of the paper,
+//! * squared row norms (needed by the RBF kernel).
+//!
+//! All floating point values are `f64` so that the solver can be compared
+//! bit-for-bit against a LibSVM-style double-precision reference (Table 4 of
+//! the paper compares final classifiers).
+
+pub mod csr;
+pub mod dense;
+pub mod ops;
+
+pub use csr::{CsrBuilder, CsrError, CsrMatrix, SparseRow};
+pub use dense::DenseMatrix;

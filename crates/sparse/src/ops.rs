@@ -1,0 +1,177 @@
+//! Batched sparse products — the computational core of kernel-row batches.
+//!
+//! §3.3.1 of the paper: "Computing those kernel values is essentially matrix
+//! multiplication between the q instances and the rest of the training
+//! instances … efficiently carried out by the cuSPARSE library." The
+//! functions here are that substitute: given CSR data `X` and a set of row
+//! ids `S`, compute the `|S| x n` dense block `X[S] * X^T` of pairwise dot
+//! products.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// Compute dot products of one source row against a contiguous range of rows.
+///
+/// The source row is scattered into `scratch` (len >= `ncols`, all zeros on
+/// entry and restored to zeros on exit), then each target row performs a
+/// gather-dot. This is the memory-friendly pattern a GPU kernel would use
+/// with the batch operand staged in shared memory.
+pub fn row_vs_range_dots(
+    x: &CsrMatrix,
+    src_row: usize,
+    range: std::ops::Range<usize>,
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    debug_assert!(scratch.len() >= x.ncols());
+    debug_assert_eq!(out.len(), range.len());
+    let src = x.row(src_row);
+    src.scatter(scratch);
+    for (o, j) in out.iter_mut().zip(range) {
+        *o = x.row(j).dot_dense(scratch);
+    }
+    src.clear_scatter(scratch);
+}
+
+/// Compute the dense block `X[rows] * X^T` of pairwise dot products: the
+/// batched "q kernel rows in one execution" primitive.
+///
+/// Returns a `rows.len() x x.nrows()` dense matrix where entry `(i, j)` is
+/// `x.row(rows[i]) . x.row(j)`.
+pub fn row_block_product(x: &CsrMatrix, rows: &[usize]) -> DenseMatrix {
+    let n = x.nrows();
+    let mut out = DenseMatrix::zeros(rows.len(), n);
+    let mut scratch = vec![0.0; x.ncols()];
+    for (bi, &r) in rows.iter().enumerate() {
+        row_vs_range_dots(x, r, 0..n, &mut scratch, out.row_mut(bi));
+    }
+    out
+}
+
+/// Like [`row_block_product`] but restricted to a column (target-row) range:
+/// the class-segment primitive used by the shared kernel layout (Fig. 3).
+pub fn row_block_product_range(
+    x: &CsrMatrix,
+    rows: &[usize],
+    cols: std::ops::Range<usize>,
+) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(rows.len(), cols.len());
+    let mut scratch = vec![0.0; x.ncols()];
+    for (bi, &r) in rows.iter().enumerate() {
+        row_vs_range_dots(x, r, cols.clone(), &mut scratch, out.row_mut(bi));
+    }
+    out
+}
+
+/// Cross-matrix block product: dot products of rows of `a` (selected by
+/// `a_rows`) against *all* rows of `b`. Used at prediction time to compute
+/// the test-instances x support-vectors kernel block once for all binary
+/// SVMs (support-vector sharing, §3.3.3).
+pub fn cross_block_product(a: &CsrMatrix, a_rows: &[usize], b: &CsrMatrix) -> DenseMatrix {
+    assert_eq!(a.ncols(), b.ncols(), "dimension mismatch");
+    let n = b.nrows();
+    let mut out = DenseMatrix::zeros(a_rows.len(), n);
+    let mut scratch = vec![0.0; a.ncols()];
+    for (bi, &r) in a_rows.iter().enumerate() {
+        let src = a.row(r);
+        src.scatter(&mut scratch);
+        let o = out.row_mut(bi);
+        for (j, oj) in o.iter_mut().enumerate() {
+            *oj = b.row(j).dot_dense(&scratch);
+        }
+        src.clear_scatter(&mut scratch);
+    }
+    out
+}
+
+/// Number of f64 multiply-adds performed by [`row_block_product`] for the
+/// given rows: `sum_j nnz(row_j)` per batch row using the scatter-gather
+/// scheme. Used by the GPU cost model.
+pub fn row_block_flops(x: &CsrMatrix, batch_rows: usize) -> u64 {
+    2 * (x.nnz() as u64) * batch_rows as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_dense(
+            &[
+                vec![1.0, 0.0, 2.0],
+                vec![0.0, 3.0, 0.0],
+                vec![4.0, 5.0, 6.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+            3,
+        )
+    }
+
+    fn brute_dot(x: &CsrMatrix, i: usize, j: usize) -> f64 {
+        x.row(i).dot_sparse(&x.row(j))
+    }
+
+    #[test]
+    fn block_product_matches_bruteforce() {
+        let x = sample();
+        let rows = vec![0usize, 2, 3];
+        let block = row_block_product(&x, &rows);
+        for (bi, &r) in rows.iter().enumerate() {
+            for j in 0..x.nrows() {
+                assert!(
+                    (block.get(bi, j) - brute_dot(&x, r, j)).abs() < 1e-12,
+                    "mismatch at ({bi},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_product_range_is_slice_of_full() {
+        let x = sample();
+        let rows = vec![1usize, 2];
+        let full = row_block_product(&x, &rows);
+        let part = row_block_product_range(&x, &rows, 1..3);
+        for bi in 0..rows.len() {
+            for (jc, j) in (1..3).enumerate() {
+                assert_eq!(part.get(bi, jc), full.get(bi, j));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_product_between_matrices() {
+        let a = sample();
+        let b = CsrMatrix::from_dense(&[vec![1.0, 1.0, 1.0], vec![0.0, 2.0, 0.0]], 3);
+        let out = cross_block_product(&a, &[0, 1], &b);
+        assert_eq!(out.get(0, 0), 3.0); // (1,0,2).(1,1,1)
+        assert_eq!(out.get(0, 1), 0.0); // (1,0,2).(0,2,0)
+        assert_eq!(out.get(1, 0), 3.0); // (0,3,0).(1,1,1)
+        assert_eq!(out.get(1, 1), 6.0); // (0,3,0).(0,2,0)
+    }
+
+    #[test]
+    fn scratch_restored_between_rows() {
+        // If scatter cleanup were broken, later rows would see stale values.
+        let x = sample();
+        let b1 = row_block_product(&x, &[0, 1]);
+        let b2 = row_block_product(&x, &[1]);
+        for j in 0..x.nrows() {
+            assert_eq!(b1.get(1, j), b2.get(0, j));
+        }
+    }
+
+    #[test]
+    fn flops_estimate_scales_with_batch() {
+        let x = sample();
+        assert_eq!(row_block_flops(&x, 2), 2 * row_block_flops(&x, 1));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let x = sample();
+        let out = row_block_product(&x, &[]);
+        assert_eq!(out.nrows(), 0);
+        assert_eq!(out.ncols(), x.nrows());
+    }
+}

@@ -1,0 +1,56 @@
+//! Digit recognition: the paper's MNIST workload at reduced scale,
+//! comparing GMP-SVM against the GPU baseline (the Table 1 / Fig. 4
+//! story on one dataset).
+//!
+//! Run with: `cargo run --release -p gmp-svm --example digit_recognition`
+
+use gmp_datasets::PaperDataset;
+use gmp_svm::{Backend, MpSvmTrainer};
+use gmp_svm::predict::error_rate;
+
+fn main() {
+    // MNIST stand-in: 10 classes, 780 features, published C=10, gamma=0.125.
+    let scale = 0.005;
+    let split = PaperDataset::Mnist.generate_split(scale);
+    println!(
+        "MNIST stand-in at scale {scale}: {} train / {} test instances, {} classes",
+        split.train.n(),
+        split.test.n(),
+        split.train.n_classes()
+    );
+    let spec = PaperDataset::Mnist.spec();
+    let params = gmp_svm::SvmParams::default()
+        .with_c(spec.c)
+        .with_rbf(spec.gamma)
+        .with_working_set(64, 32);
+
+    let mut rows = Vec::new();
+    for backend in [Backend::gpu_baseline_default(), Backend::gmp_default()] {
+        let outcome = MpSvmTrainer::new(params, backend.clone())
+            .train(&split.train)
+            .expect("training failed");
+        let pred = outcome
+            .model
+            .predict(&split.test.x, &backend)
+            .expect("prediction failed");
+        let err = error_rate(&pred.labels, &split.test.y);
+        println!(
+            "\n[{}]\n  45 binary SVMs: {} SMO iterations total, {} kernel evals",
+            outcome.report.backend,
+            outcome.report.total_iterations(),
+            outcome.report.kernel_evals,
+        );
+        println!(
+            "  train {:.3} s simulated, predict {:.4} s simulated, test error {:.2}%",
+            outcome.report.sim_s,
+            pred.report.sim_s,
+            100.0 * err
+        );
+        rows.push((outcome.report.sim_s, pred.report.sim_s));
+    }
+    println!(
+        "\nGMP-SVM speedup over GPU baseline: {:.1}x train, {:.1}x predict",
+        rows[0].0 / rows[1].0,
+        rows[0].1 / rows[1].1
+    );
+}

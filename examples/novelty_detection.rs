@@ -1,0 +1,46 @@
+//! One-class SVM novelty detection: train on normal traffic only, flag
+//! anomalies — the distribution-estimation member of the SVM family.
+//!
+//! Run with: `cargo run --release -p gmp-svm --example novelty_detection`
+
+use gmp_datasets::BlobSpec;
+use gmp_sparse::CsrMatrix;
+use gmp_svm::{train_one_class, KernelKind, OneClassParams};
+
+fn main() {
+    // "Normal" observations: one tight cluster.
+    let normal = BlobSpec { n: 300, dim: 2, classes: 2, spread: 0.12, seed: 10 }.generate();
+    let params = OneClassParams {
+        kernel: KernelKind::Rbf { gamma: 1.5 },
+        nu: 0.05,
+        tolerance: 1e-3,
+        ws_size: 64,
+    };
+    let model = train_one_class(params, &normal.x);
+    println!(
+        "trained one-class SVM: {} support vectors / {} points (nu = {})",
+        model.n_sv(),
+        normal.n(),
+        params.nu
+    );
+
+    let train_inliers = model.predict_inlier(&normal.x).iter().filter(|&&b| b).count();
+    println!(
+        "training data accepted: {}/{} ({:.1}% flagged, bounded by nu)",
+        train_inliers,
+        normal.n(),
+        100.0 * (normal.n() - train_inliers) as f64 / normal.n() as f64
+    );
+
+    // Probe with novel points at increasing distance from the cluster.
+    println!("\n| probe | decision value | verdict |");
+    println!("|---|---|---|");
+    for r in [0.5, 1.5, 3.0, 6.0] {
+        let probe = CsrMatrix::from_dense(&[vec![1.0 + r, r]], 2);
+        let v = model.decision_values(&probe)[0];
+        println!(
+            "| distance ~{r} | {v:.4} | {} |",
+            if v > 0.0 { "inlier" } else { "NOVEL" }
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! ε-SVR: the regression extension the paper's related work points to
+//! (Wen et al., "Scalable and fast SVM regression using modern hardware").
+//! Fits a noisy sine wave and reports tube statistics.
+//!
+//! Run with: `cargo run --release -p gmp-svm --example regression`
+
+use gmp_sparse::CsrMatrix;
+use gmp_svm::{train_svr, KernelKind, SvrParams};
+
+fn main() {
+    // Noisy sine: z = sin(x) + noise, x in [0, 6].
+    let n = 200;
+    let mut seed = 7u64;
+    let mut noise = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.2
+    };
+    let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![6.0 * i as f64 / n as f64]).collect();
+    let zs: Vec<f64> = xs.iter().map(|v| v[0].sin() + noise()).collect();
+    let x = CsrMatrix::from_dense(&xs, 1);
+
+    for epsilon in [0.3, 0.1, 0.02] {
+        let params = SvrParams {
+            kernel: KernelKind::Rbf { gamma: 2.0 },
+            c: 10.0,
+            epsilon,
+            ..Default::default()
+        };
+        let model = train_svr(params, &x, &zs);
+        let pred = model.predict(&x);
+        let mse: f64 = pred
+            .iter()
+            .zip(&zs)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / n as f64;
+        let in_tube = pred
+            .iter()
+            .zip(&zs)
+            .filter(|(p, t)| (*p - *t).abs() <= epsilon + 1e-9)
+            .count();
+        println!(
+            "epsilon = {epsilon:<4}: {} support vectors ({}% of data), mse {:.4}, {}% of points inside the tube",
+            model.n_sv(),
+            100 * model.n_sv() / n,
+            mse,
+            100 * in_tube / n,
+        );
+    }
+    println!("\nshrinking the tube trades sparsity (support vectors) for fit, as expected for epsilon-SVR.");
+}

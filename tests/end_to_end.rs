@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full MP-SVM pipeline on paper-dataset
+//! stand-ins across every backend.
+
+use gmp_datasets::PaperDataset;
+use gmp_svm::predict::error_rate;
+use gmp_svm::{Backend, MpSvmTrainer, SvmParams};
+
+fn tiny_params(ds: PaperDataset) -> SvmParams {
+    let spec = ds.spec();
+    let mut p = SvmParams::default()
+        .with_c(spec.c)
+        .with_rbf(spec.gamma)
+        .with_working_set(32, 16);
+    p.cache_rows = 32;
+    p
+}
+
+fn all_backends() -> Vec<Backend> {
+    vec![
+        Backend::libsvm(),
+        Backend::libsvm_openmp(),
+        Backend::gpu_baseline_default(),
+        Backend::cmp_svm(),
+        Backend::gmp_default(),
+    ]
+}
+
+#[test]
+fn connect4_standin_all_backends() {
+    let split = PaperDataset::Connect4.generate_split(0.002);
+    let params = tiny_params(PaperDataset::Connect4);
+    let mut test_errors = Vec::new();
+    for backend in all_backends() {
+        let out = MpSvmTrainer::new(params, backend.clone())
+            .train(&split.train)
+            .unwrap_or_else(|e| panic!("{}: {e}", backend.label()));
+        assert!(out.report.all_converged(), "{} unconverged", backend.label());
+        assert_eq!(out.model.binaries.len(), 3);
+        let pred = out.model.predict(&split.test.x, &backend).unwrap();
+        let err = error_rate(&pred.labels, &split.test.y);
+        assert!(err < 0.5, "{}: test error {err}", backend.label());
+        test_errors.push(err);
+    }
+    // Every backend trains (numerically) the same classifier: test error
+    // must agree to within a couple of flips.
+    let spread = test_errors.iter().cloned().fold(0.0f64, f64::max)
+        - test_errors.iter().cloned().fold(1.0f64, f64::min);
+    assert!(spread < 0.05, "backend test errors diverge: {test_errors:?}");
+}
+
+#[test]
+fn mnist_standin_probabilities_are_calibratedish() {
+    let split = PaperDataset::Mnist.generate_split(0.002);
+    let params = tiny_params(PaperDataset::Mnist);
+    let backend = Backend::gmp_default();
+    let out = MpSvmTrainer::new(params, backend.clone())
+        .train(&split.train)
+        .expect("train");
+    let pred = out.model.predict(&split.test.x, &backend).expect("predict");
+    assert_eq!(pred.probabilities.len(), split.test.n());
+    let mut correct = 0.0;
+    let mut conf_total = 0.0;
+    for (i, p) in pred.probabilities.iter().enumerate() {
+        assert_eq!(p.len(), 10);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "probabilities must sum to 1");
+        conf_total += p.iter().cloned().fold(0.0f64, f64::max);
+        if pred.labels[i] == split.test.y[i] {
+            correct += 1.0;
+        }
+    }
+    // With 10 classes and tiny calibration sets, pairwise coupling
+    // dilutes confidence (36 of 45 pairs are uninformative for any given
+    // instance); require it to sit well above the uniform baseline 1/k
+    // while accuracy stays high.
+    let acc = correct / split.test.n() as f64;
+    let mean_conf = conf_total / split.test.n() as f64;
+    assert!(acc > 0.8, "accuracy {acc}");
+    assert!(
+        mean_conf > 0.3 && mean_conf <= 1.0,
+        "mean confidence {mean_conf} not informative (uniform = 0.1)"
+    );
+}
+
+#[test]
+fn gmp_beats_baseline_on_multiclass_shape() {
+    // The core paper claim at integration level: on a multi-class dataset
+    // GMP-SVM does less kernel work and finishes sooner (simulated) than
+    // the GPU baseline, with the same classifier quality.
+    let split = PaperDataset::News20.generate_split(0.01);
+    let params = tiny_params(PaperDataset::News20);
+    let base = MpSvmTrainer::new(params, Backend::gpu_baseline_default())
+        .train(&split.train)
+        .expect("baseline");
+    let gmp = MpSvmTrainer::new(params, Backend::gmp_default())
+        .train(&split.train)
+        .expect("gmp");
+    assert!(
+        gmp.report.sim_s < base.report.sim_s,
+        "gmp {} vs baseline {}",
+        gmp.report.sim_s,
+        base.report.sim_s
+    );
+    // Prediction with SV sharing also wins.
+    let pb = base
+        .model
+        .predict(&split.test.x, &Backend::gpu_baseline_default())
+        .expect("predict baseline");
+    let pg = gmp
+        .model
+        .predict(&split.test.x, &Backend::gmp_default())
+        .expect("predict gmp");
+    assert!(pg.report.sim_s < pb.report.sim_s);
+    assert!(pg.report.kernel_evals <= pb.report.kernel_evals);
+    // Same quality.
+    let eb = error_rate(&pb.labels, &split.test.y);
+    let eg = error_rate(&pg.labels, &split.test.y);
+    assert!((eb - eg).abs() < 0.05, "baseline {eb} vs gmp {eg}");
+}
+
+#[test]
+fn binary_dataset_single_pair_pipeline() {
+    let split = PaperDataset::Adult.generate_split(0.004);
+    let params = tiny_params(PaperDataset::Adult);
+    let backend = Backend::gmp_default();
+    let out = MpSvmTrainer::new(params, backend.clone())
+        .train(&split.train)
+        .expect("train");
+    assert_eq!(out.model.binaries.len(), 1);
+    let pred = out.model.predict(&split.test.x, &backend).expect("predict");
+    for p in &pred.probabilities {
+        assert_eq!(p.len(), 2);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn cross_validation_runs_end_to_end() {
+    let data = PaperDataset::Connect4.generate(0.0015);
+    let params = tiny_params(PaperDataset::Connect4);
+    let cv = gmp_svm::cv::cross_validate(params, Backend::gmp_default(), &data, 3, 11)
+        .expect("cv");
+    assert_eq!(cv.fold_errors.len(), 3);
+    assert!(cv.mean_error < 0.6, "cv error {}", cv.mean_error);
+}
+
+#[test]
+fn libsvm_format_to_pipeline() {
+    // Parse LibSVM text -> train -> predict: the external-data path.
+    let text = "\
+0 1:1.0 2:0.2\n0 1:0.9 3:0.1\n0 1:1.1 2:0.1\n0 1:0.8\n0 1:1.0 4:0.3\n0 1:0.95 2:0.25\n\
+1 2:1.0 3:0.2\n1 2:0.9 4:0.1\n1 2:1.1\n1 2:0.8 3:0.3\n1 2:1.0 4:0.2\n1 2:0.85 3:0.15\n\
+2 3:1.0 4:0.1\n2 3:0.9\n2 1:0.1 3:1.1\n2 3:0.8 4:0.25\n2 3:1.0\n2 1:0.2 3:0.95\n";
+    let data = gmp_datasets::parse_libsvm(text, 0).expect("parse");
+    assert_eq!(data.n_classes(), 3);
+    let params = SvmParams::default()
+        .with_c(10.0)
+        .with_rbf(1.0)
+        .with_working_set(8, 4);
+    let out = MpSvmTrainer::new(params, Backend::gmp_default())
+        .train(&data)
+        .expect("train");
+    let pred = out
+        .model
+        .predict(&data.x, &Backend::gmp_default())
+        .expect("predict");
+    let err = error_rate(&pred.labels, &data.y);
+    assert!(err < 0.2, "training error {err}");
+}
