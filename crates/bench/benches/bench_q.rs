@@ -10,7 +10,11 @@ use std::sync::Arc;
 
 fn bench_q(c: &mut Criterion) {
     let data = PaperDataset::Webdata.generate(0.002);
-    let y: Vec<f64> = data.y.iter().map(|&v| if v == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = data
+        .y
+        .iter()
+        .map(|&v| if v == 0 { 1.0 } else { -1.0 })
+        .collect();
     let oracle = Arc::new(KernelOracle::new(
         Arc::new(data.x.clone()),
         KernelKind::Rbf { gamma: 0.5 },
@@ -22,15 +26,14 @@ fn bench_q(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
             b.iter(|| {
                 let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
-                let mut rows = BufferedRows::new(
-                    oracle.clone(),
-                    bs,
-                    ReplacementPolicy::FifoBatch,
-                    None,
-                )
-                .unwrap();
+                let mut rows =
+                    BufferedRows::new(oracle.clone(), bs, ReplacementPolicy::FifoBatch, None)
+                        .unwrap();
                 let params = BatchedParams {
-                    base: SmoParams { c: 10.0, ..Default::default() },
+                    base: SmoParams {
+                        c: 10.0,
+                        ..Default::default()
+                    },
                     ws_size: bs,
                     q,
                     inner_relax: 0.1,

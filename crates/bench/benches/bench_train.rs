@@ -1,16 +1,28 @@
 //! Criterion micro-benchmark behind Table 3's training columns: wall-clock
 //! training time per backend on a small Connect-4 stand-in.
+//!
+//! Besides the criterion timing loop, a `--bench` run writes the same
+//! machine-readable `BENCH_train.json` artifact as the `table3` binary
+//! (wall/sim seconds, kernel evals, rows computed per backend), including
+//! a GMP host-thread 1-vs-4 A/B, so perf is trackable across changes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use gmp_bench::{measure_on_with_threads, write_bench_json, Measurement};
 use gmp_datasets::PaperDataset;
 use gmp_svm::{Backend, MpSvmTrainer, SvmParams};
 
-fn bench_train(c: &mut Criterion) {
-    let data = PaperDataset::Connect4.generate(0.002);
-    let params = SvmParams::default()
+const SCALE: f64 = 0.002;
+
+fn bench_params() -> SvmParams {
+    SvmParams::default()
         .with_c(1.0)
         .with_rbf(0.3)
-        .with_working_set(64, 32);
+        .with_working_set(64, 32)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let data = PaperDataset::Connect4.generate(SCALE);
+    let params = bench_params();
     let mut group = c.benchmark_group("table3_train");
     group.sample_size(10);
     for backend in [
@@ -33,5 +45,39 @@ fn bench_train(c: &mut Criterion) {
     group.finish();
 }
 
+fn emit_bench_json() {
+    let split = PaperDataset::Connect4.generate_split(SCALE);
+    let name = PaperDataset::Connect4.spec().name;
+    let params = bench_params();
+    let mut ms: Vec<Measurement> = Vec::new();
+    for backend in [
+        Backend::libsvm(),
+        Backend::gpu_baseline_default(),
+        Backend::gmp_default(),
+    ] {
+        ms.push(measure_on_with_threads(
+            &split, name, &backend, params, None,
+        ));
+    }
+    // Host-parallelism A/B: same GMP training, 1 vs. 4 real host threads.
+    for threads in [1usize, 4] {
+        let mut m =
+            measure_on_with_threads(&split, name, &Backend::gmp_default(), params, Some(threads));
+        m.backend = format!("{} (host_threads={threads})", m.backend);
+        ms.push(m);
+    }
+    let path = gmp_bench::bench_json_path();
+    write_bench_json(&path, "bench_train", &ms);
+    eprintln!("benchmark artifact written to {}", path.display());
+}
+
 criterion_group!(benches, bench_train);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Criterion-compatible harnesses only run bodies under `--bench`; emit
+    // the artifact on real bench runs, not under `cargo test`.
+    if std::env::args().any(|a| a == "--bench") {
+        emit_bench_json();
+    }
+}

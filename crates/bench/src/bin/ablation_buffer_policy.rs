@@ -15,7 +15,10 @@ use std::sync::Arc;
 
 fn main() {
     let datasets = PaperDataset::binary();
-    print_banner("Ablation — kernel buffer replacement policy (FIFO vs LRU)", &datasets);
+    print_banner(
+        "Ablation — kernel buffer replacement policy (FIFO vs LRU)",
+        &datasets,
+    );
 
     let mut rows = Vec::new();
     for ds in datasets {
@@ -37,9 +40,8 @@ fn main() {
             ));
             // Buffer = 1.5x working set: eviction pressure without thrash.
             let ws = 64usize;
-            let mut provider =
-                BufferedRows::new(oracle.clone(), ws * 3 / 2, policy, Some(&device))
-                    .expect("buffer fits");
+            let mut provider = BufferedRows::new(oracle.clone(), ws * 3 / 2, policy, Some(&device))
+                .expect("buffer fits");
             let params = BatchedParams {
                 base: SmoParams {
                     c: spec.c,
@@ -71,5 +73,7 @@ fn main() {
         &["Dataset", "FIFO batch (paper)", "LRU"],
         &rows,
     );
-    println!("\nPaper's claim: FIFO is 'simple and sufficiently effective' — the two should be close.");
+    println!(
+        "\nPaper's claim: FIFO is 'simple and sufficiently effective' — the two should be close."
+    );
 }

@@ -5,10 +5,10 @@
 //! why the paper sides with pairwise coupling for *probabilistic* SVMs.
 
 use gmp_bench::{params_for, print_banner, print_table, split_for};
+use gmp_datasets::PaperDataset;
 use gmp_prob::log_loss;
 use gmp_svm::predict::error_rate;
 use gmp_svm::{evaluate_ovr, Backend, MpSvmTrainer};
-use gmp_datasets::PaperDataset;
 
 fn main() {
     let datasets = [
@@ -16,7 +16,10 @@ fn main() {
         PaperDataset::Mnist,
         PaperDataset::News20,
     ];
-    print_banner("Ablation — pairwise coupling (OVO) vs one-vs-rest (OVR)", &datasets);
+    print_banner(
+        "Ablation — pairwise coupling (OVO) vs one-vs-rest (OVR)",
+        &datasets,
+    );
     let mut rows = Vec::new();
     for ds in datasets {
         let split = split_for(ds);

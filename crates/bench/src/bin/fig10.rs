@@ -41,5 +41,7 @@ fn main() {
         &["Dataset", "GMP-SVM", "GPUSVM", "GPUSVM / GMP"],
         &rows,
     );
-    println!("\nExpected shape (paper): GPUSVM worst on RCV1 (dense representation on sparse data).");
+    println!(
+        "\nExpected shape (paper): GPUSVM worst on RCV1 (dense representation on sparse data)."
+    );
 }

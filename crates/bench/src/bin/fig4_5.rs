@@ -53,18 +53,29 @@ fn main() {
         seen
     };
 
-    for (fig, train) in [("Figure 4 — training speedup of GMP-SVM", true), ("Figure 5 — prediction speedup of GMP-SVM", false)] {
+    for (fig, train) in [
+        ("Figure 4 — training speedup of GMP-SVM", true),
+        ("Figure 5 — prediction speedup of GMP-SVM", false),
+    ] {
         let mut rows = Vec::new();
         for ds in &datasets {
             let Some(gmp) = by_key.get(&(ds.clone(), gmp_label.clone())) else {
                 continue;
             };
-            let gmp_t = if train { gmp.train_sim_s } else { gmp.predict_sim_s };
+            let gmp_t = if train {
+                gmp.train_sim_s
+            } else {
+                gmp.predict_sim_s
+            };
             let mut row = vec![ds.clone()];
             for other in others {
                 match by_key.get(&(ds.clone(), other.to_string())) {
                     Some(m) => {
-                        let t = if train { m.train_sim_s } else { m.predict_sim_s };
+                        let t = if train {
+                            m.train_sim_s
+                        } else {
+                            m.predict_sim_s
+                        };
                         row.push(format!("{:.1}x", t / gmp_t.max(1e-12)));
                     }
                     None => row.push("-".to_string()),

@@ -13,7 +13,10 @@ fn main() {
         PaperDataset::Mnist,
         PaperDataset::News20,
     ];
-    print_banner("Figure 6 — training time vs GPU buffer size (bs)", &datasets);
+    print_banner(
+        "Figure 6 — training time vs GPU buffer size (bs)",
+        &datasets,
+    );
     let buffer_sizes = [64usize, 128, 256, 512, 1024];
 
     let mut rows = Vec::new();

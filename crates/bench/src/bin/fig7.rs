@@ -15,7 +15,10 @@ fn main() {
         PaperDataset::Mnist,
         PaperDataset::News20,
     ];
-    print_banner("Figure 7 — training time vs q (buffer fixed at 256)", &datasets);
+    print_banner(
+        "Figure 7 — training time vs q (buffer fixed at 256)",
+        &datasets,
+    );
     let bs = 256usize;
     let qs = [16usize, 32, 64, 128, 256];
 

@@ -7,19 +7,27 @@
 //! Usage: `table3 [--quick]` — `--quick` runs the three smallest datasets.
 
 use gmp_bench::{
-    fmt_s, measure_on, params_for, print_banner, print_table, results_dir, split_for,
-    table3_backends, write_tsv, Measurement,
+    fmt_s, measure_on, measure_on_with_threads, params_for, print_banner, print_table, results_dir,
+    split_for, table3_backends, write_bench_json, write_tsv, Measurement,
 };
 use gmp_datasets::PaperDataset;
+use gmp_svm::Backend;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let datasets: Vec<PaperDataset> = if quick {
-        vec![PaperDataset::Adult, PaperDataset::Connect4, PaperDataset::Mnist]
+        vec![
+            PaperDataset::Adult,
+            PaperDataset::Connect4,
+            PaperDataset::Mnist,
+        ]
     } else {
         PaperDataset::all().to_vec()
     };
-    print_banner("Table 3 — elapsed time (simulated seconds on modeled hardware)", &datasets);
+    print_banner(
+        "Table 3 — elapsed time (simulated seconds on modeled hardware)",
+        &datasets,
+    );
 
     let mut all: Vec<Measurement> = Vec::new();
     let mut rows = Vec::new();
@@ -38,7 +46,11 @@ fn main() {
                 m.train_kernel_evals,
                 fmt_s(m.train_wall_s),
             );
-            row.push(format!("{} / {}", fmt_s(m.train_sim_s), fmt_s(m.predict_sim_s)));
+            row.push(format!(
+                "{} / {}",
+                fmt_s(m.train_sim_s),
+                fmt_s(m.predict_sim_s)
+            ));
             all.push(m);
         }
         rows.push(row);
@@ -63,7 +75,11 @@ fn main() {
         .map(|c| {
             let mut row = vec![c[0].dataset.clone()];
             for m in c {
-                row.push(format!("{} / {}", fmt_s(m.train_sim_s), fmt_s(m.predict_sim_s)));
+                row.push(format!(
+                    "{} / {}",
+                    fmt_s(m.train_sim_s),
+                    fmt_s(m.predict_sim_s)
+                ));
             }
             row
         })
@@ -83,7 +99,43 @@ fn main() {
         );
     }
 
+    // Host-parallelism A/B on the Table-1 generators present in this run:
+    // the same GMP training with 1 vs. 4 real host threads. Simulated
+    // seconds and kernel work are identical by construction (see
+    // crates/core/tests/concurrency.rs); wall-clock is what threads move.
+    let ab_sets = [
+        PaperDataset::Adult,
+        PaperDataset::Mnist,
+        PaperDataset::News20,
+    ];
+    for ds in ab_sets.iter().filter(|ds| datasets.contains(ds)) {
+        let params = params_for(*ds);
+        let split = split_for(*ds);
+        for threads in [1usize, 4] {
+            let mut m = measure_on_with_threads(
+                &split,
+                ds.spec().name,
+                &Backend::gmp_default(),
+                params,
+                Some(threads),
+            );
+            m.backend = format!("{} (host_threads={threads})", m.backend);
+            eprintln!(
+                "  [{} / {}] train {} wall s, {} sim s, kevals {}",
+                m.dataset,
+                m.backend,
+                fmt_s(m.train_wall_s),
+                fmt_s(m.train_sim_s),
+                m.train_kernel_evals,
+            );
+            all.push(m);
+        }
+    }
+
     let path = results_dir().join("table3.tsv");
     write_tsv(&path, &all);
+    let json_path = gmp_bench::bench_json_path();
+    write_bench_json(&json_path, "table3", &all);
     println!("\nresults written to {}", path.display());
+    println!("benchmark artifact written to {}", json_path.display());
 }

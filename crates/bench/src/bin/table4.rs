@@ -10,7 +10,10 @@ use gmp_svm::Backend;
 fn main() {
     let sweep = std::env::args().any(|a| a == "--sweep");
     let datasets = PaperDataset::all();
-    print_banner("Table 4 — final classifier comparison (LibSVM vs GMP-SVM)", &datasets);
+    print_banner(
+        "Table 4 — final classifier comparison (LibSVM vs GMP-SVM)",
+        &datasets,
+    );
 
     let mut rows = Vec::new();
     for ds in datasets {
@@ -79,7 +82,12 @@ fn main() {
         }
         print_table(
             "Sweep (Adult)",
-            &["Config", "bias (LibSVM / GMP)", "train err (LibSVM / GMP)", "verdict"],
+            &[
+                "Config",
+                "bias (LibSVM / GMP)",
+                "train err (LibSVM / GMP)",
+                "verdict",
+            ],
             &rows,
         );
     }

@@ -29,8 +29,12 @@ pub struct Measurement {
     pub predict_wall_s: f64,
     /// Kernel values computed during training.
     pub train_kernel_evals: u64,
+    /// Kernel rows computed during training.
+    pub train_rows_computed: u64,
     /// Kernel values computed during prediction.
     pub predict_kernel_evals: u64,
+    /// Real host threads that drove concurrent training work.
+    pub host_threads: usize,
     /// Training-set error rate.
     pub train_error: f64,
     /// Test-set error rate.
@@ -112,7 +116,21 @@ pub fn measure_on(
     backend: &Backend,
     params: SvmParams,
 ) -> Measurement {
+    measure_on_with_threads(split, name, backend, params, None)
+}
+
+/// Like [`measure_on`] with an explicit host-thread count for the GMP
+/// backend's concurrent waves (`None` = auto) — the knob behind the
+/// host-parallelism A/B rows of `BENCH_train.json`.
+pub fn measure_on_with_threads(
+    split: &SplitDataset,
+    name: &str,
+    backend: &Backend,
+    params: SvmParams,
+    host_threads: Option<usize>,
+) -> Measurement {
     let outcome = MpSvmTrainer::new(params, backend.clone())
+        .with_host_threads(host_threads)
         .train(&split.train)
         .expect("training failed");
     let train_pred = outcome
@@ -131,7 +149,9 @@ pub fn measure_on(
         train_wall_s: outcome.report.wall_s,
         predict_wall_s: test_pred.report.wall_s,
         train_kernel_evals: outcome.report.kernel_evals,
+        train_rows_computed: outcome.report.rows_computed,
         predict_kernel_evals: test_pred.report.kernel_evals,
+        host_threads: outcome.report.host_threads,
         train_error: error_rate(&train_pred.labels, &split.train.y),
         test_error: error_rate(&test_pred.labels, &split.test.y),
         bias: outcome.model.last_bias(),
@@ -154,7 +174,10 @@ pub fn fmt_s(s: f64) -> String {
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -167,17 +190,24 @@ pub fn results_dir() -> std::path::PathBuf {
     p
 }
 
+/// Workspace-root path of the `BENCH_train.json` artifact — anchored via
+/// the crate manifest so binaries (cwd = invocation dir) and benches
+/// (cwd = package dir) agree on the location.
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_train.json")
+}
+
 /// Write measurements as TSV.
 pub fn write_tsv(path: &std::path::Path, ms: &[Measurement]) {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str(
-        "dataset\tbackend\ttrain_sim_s\tpredict_sim_s\ttrain_wall_s\tpredict_wall_s\ttrain_kevals\tpredict_kevals\ttrain_err\ttest_err\tbias\tconverged\n",
+        "dataset\tbackend\ttrain_sim_s\tpredict_sim_s\ttrain_wall_s\tpredict_wall_s\ttrain_kevals\ttrain_rows\tpredict_kevals\ttrain_err\ttest_err\tbias\tconverged\thost_threads\n",
     );
     for m in ms {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             m.dataset,
             m.backend,
             m.train_sim_s,
@@ -185,11 +215,13 @@ pub fn write_tsv(path: &std::path::Path, ms: &[Measurement]) {
             m.train_wall_s,
             m.predict_wall_s,
             m.train_kernel_evals,
+            m.train_rows_computed,
             m.predict_kernel_evals,
             m.train_error,
             m.test_error,
             m.bias,
-            m.converged
+            m.converged,
+            m.host_threads
         );
     }
     std::fs::write(path, out).expect("write results tsv");
@@ -201,7 +233,7 @@ pub fn read_tsv(path: &std::path::Path) -> Option<Vec<Measurement>> {
     let mut out = Vec::new();
     for line in text.lines().skip(1) {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 12 {
+        if f.len() != 14 {
             return None;
         }
         out.push(Measurement {
@@ -212,14 +244,93 @@ pub fn read_tsv(path: &std::path::Path) -> Option<Vec<Measurement>> {
             train_wall_s: f[4].parse().ok()?,
             predict_wall_s: f[5].parse().ok()?,
             train_kernel_evals: f[6].parse().ok()?,
-            predict_kernel_evals: f[7].parse().ok()?,
-            train_error: f[8].parse().ok()?,
-            test_error: f[9].parse().ok()?,
-            bias: f[10].parse().ok()?,
-            converged: f[11].parse().ok()?,
+            train_rows_computed: f[7].parse().ok()?,
+            predict_kernel_evals: f[8].parse().ok()?,
+            train_error: f[9].parse().ok()?,
+            test_error: f[10].parse().ok()?,
+            bias: f[11].parse().ok()?,
+            converged: f[12].parse().ok()?,
+            host_threads: f[13].parse().ok()?,
         });
     }
     Some(out)
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a float so the JSON stays valid (NaN/inf have no literal).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write measurements as a machine-readable JSON benchmark artifact
+/// (`BENCH_train.json`): wall/simulated seconds, kernel evals and rows
+/// computed per backend×dataset, so the perf trajectory is trackable
+/// across changes. Hand-rolled writer: the vendored serde has no
+/// serializer.
+pub fn write_bench_json(path: &std::path::Path, bench: &str, ms: &[Measurement]) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"{}\",", json_escape(bench));
+    let _ = writeln!(
+        out,
+        "  \"scale_multiplier\": {},",
+        json_f64(scale_multiplier())
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"dataset\": \"{}\", \"backend\": \"{}\", \"host_threads\": {}, \
+             \"train_wall_s\": {}, \"train_sim_s\": {}, \
+             \"train_kernel_evals\": {}, \"train_rows_computed\": {}, \
+             \"predict_wall_s\": {}, \"predict_sim_s\": {}, \
+             \"predict_kernel_evals\": {}, \"test_error\": {}, \"converged\": {}",
+            json_escape(&m.dataset),
+            json_escape(&m.backend),
+            m.host_threads,
+            json_f64(m.train_wall_s),
+            json_f64(m.train_sim_s),
+            m.train_kernel_evals,
+            m.train_rows_computed,
+            json_f64(m.predict_wall_s),
+            json_f64(m.predict_sim_s),
+            m.predict_kernel_evals,
+            json_f64(m.test_error),
+            m.converged
+        );
+        out.push('}');
+        if i + 1 < ms.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
 }
 
 /// Banner printed by every experiment binary: scale disclosure.
@@ -279,19 +390,54 @@ mod tests {
             train_wall_s: 2.0,
             predict_wall_s: 0.5,
             train_kernel_evals: 10,
+            train_rows_computed: 3,
             predict_kernel_evals: 5,
+            host_threads: 4,
             train_error: 0.01,
             test_error: 0.02,
             bias: -0.5,
             converged: true,
         };
         let dir = std::env::temp_dir().join("gmp_tsv_test.tsv");
-        write_tsv(&dir, &[m.clone()]);
+        write_tsv(&dir, std::slice::from_ref(&m));
         let back = read_tsv(&dir).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].dataset, "X");
         assert_eq!(back[0].train_kernel_evals, 10);
+        assert_eq!(back[0].train_rows_computed, 3);
+        assert_eq!(back[0].host_threads, 4);
         assert!(back[0].converged);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let m = Measurement {
+            dataset: "adult \"q\"".into(),
+            backend: "gmp\\x".into(),
+            train_sim_s: 1.5,
+            predict_sim_s: 0.25,
+            train_wall_s: 2.0,
+            predict_wall_s: 0.5,
+            train_kernel_evals: 10,
+            train_rows_computed: 3,
+            predict_kernel_evals: 5,
+            host_threads: 2,
+            train_error: 0.01,
+            test_error: f64::NAN,
+            bias: -0.5,
+            converged: true,
+        };
+        let path = std::env::temp_dir().join("gmp_bench_json_test.json");
+        write_bench_json(&path, "table3", &[m]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"table3\""));
+        assert!(text.contains("\"dataset\": \"adult \\\"q\\\"\""));
+        assert!(text.contains("\"backend\": \"gmp\\\\x\""));
+        assert!(text.contains("\"host_threads\": 2"));
+        assert!(text.contains("\"test_error\": null"));
+        // Balanced braces/brackets => structurally sound for this flat shape.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
     }
 
     #[test]

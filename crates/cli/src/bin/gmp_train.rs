@@ -57,8 +57,8 @@ fn main() -> ExitCode {
         data.n_classes()
     );
 
-    let trainer = MpSvmTrainer::new(opts.params, opts.backend)
-        .with_class_weights(opts.class_weights.clone());
+    let trainer =
+        MpSvmTrainer::new(opts.params, opts.backend).with_class_weights(opts.class_weights.clone());
     let outcome = match trainer.train(&data) {
         Ok(o) => o,
         Err(e) => {

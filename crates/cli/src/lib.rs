@@ -33,10 +33,7 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-fn parse_value<T: std::str::FromStr>(
-    flag: &str,
-    value: Option<String>,
-) -> Result<T, ArgError> {
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, ArgError> {
     let v = value.ok_or_else(|| ArgError(format!("{flag} requires a value")))?;
     v.parse()
         .map_err(|_| ArgError(format!("bad value '{v}' for {flag}")))
@@ -57,8 +54,8 @@ pub fn parse_backend(name: &str) -> Result<Backend, ArgError> {
         },
         other => {
             return Err(ArgError(format!(
-                "unknown backend '{other}' (libsvm | libsvm-omp | gpu-baseline | cmp | gmp | gmp-v100)"
-            )))
+            "unknown backend '{other}' (libsvm | libsvm-omp | gpu-baseline | cmp | gmp | gmp-v100)"
+        )))
         }
     })
 }
@@ -95,7 +92,9 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<CommonOpts, Arg
                 let class: usize = parse_value("--weight", it.next())?;
                 let w: f64 = parse_value("--weight", it.next())?;
                 if w <= 0.0 {
-                    return Err(ArgError(format!("weight for class {class} must be positive")));
+                    return Err(ArgError(format!(
+                        "weight for class {class} must be positive"
+                    )));
                 }
                 if class_weights.len() <= class {
                     class_weights.resize(class + 1, 1.0);
@@ -108,7 +107,10 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<CommonOpts, Arg
                 let name: String = parse_value("--backend", it.next())?;
                 backend = parse_backend(&name)?;
             }
-            flag if flag.starts_with('-') && flag.len() > 1 && !flag.chars().nth(1).unwrap().is_ascii_digit() => {
+            flag if flag.starts_with('-')
+                && flag.len() > 1
+                && !flag.chars().nth(1).unwrap().is_ascii_digit() =>
+            {
                 return Err(ArgError(format!("unknown flag '{flag}'")));
             }
             _ => positional.push(arg),
@@ -162,7 +164,10 @@ mod tests {
 
     #[test]
     fn kernel_selection() {
-        assert!(matches!(parse("-t 0 x").unwrap().params.kernel, KernelKind::Linear));
+        assert!(matches!(
+            parse("-t 0 x").unwrap().params.kernel,
+            KernelKind::Linear
+        ));
         assert!(matches!(
             parse("-t 1 -g 2 -r 1 -d 4 x").unwrap().params.kernel,
             KernelKind::Poly { gamma, coef0, degree } if gamma == 2.0 && coef0 == 1.0 && degree == 4
@@ -176,8 +181,14 @@ mod tests {
 
     #[test]
     fn backend_selection() {
-        assert_eq!(parse("--backend libsvm x").unwrap().backend.label(), "LibSVM w/o OpenMP");
-        assert_eq!(parse("--backend cmp x").unwrap().backend.label(), "CMP-SVM (40t)");
+        assert_eq!(
+            parse("--backend libsvm x").unwrap().backend.label(),
+            "LibSVM w/o OpenMP"
+        );
+        assert_eq!(
+            parse("--backend cmp x").unwrap().backend.label(),
+            "CMP-SVM (40t)"
+        );
         assert!(parse("--backend warp9 x").is_err());
     }
 

@@ -91,7 +91,10 @@ mod tests {
             seed: 9,
         }
         .generate();
-        let params = SvmParams::default().with_c(1.0).with_rbf(1.0).with_working_set(16, 8);
+        let params = SvmParams::default()
+            .with_c(1.0)
+            .with_rbf(1.0)
+            .with_working_set(16, 8);
         let a = cross_validate(params, Backend::libsvm(), &data, 2, 7).unwrap();
         let b = cross_validate(params, Backend::libsvm(), &data, 2, 7).unwrap();
         assert_eq!(a, b);
@@ -108,12 +111,6 @@ mod tests {
             seed: 1,
         }
         .generate();
-        let _ = cross_validate(
-            SvmParams::default(),
-            Backend::libsvm(),
-            &data,
-            1,
-            0,
-        );
+        let _ = cross_validate(SvmParams::default(), Backend::libsvm(), &data, 1, 0);
     }
 }

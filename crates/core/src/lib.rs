@@ -43,11 +43,11 @@ pub mod trainer;
 
 pub use model::{BinarySvm, ModelParseError, MpSvmModel};
 pub use model_selection::{GridPoint, GridSearch};
+pub use oneclass::{train_one_class, OneClassModel, OneClassParams};
 pub use ovo::{class_pairs, BinaryProblem};
 pub use ovr::{evaluate_ovr, OvrModel};
 pub use params::{Backend, SvmParams};
 pub use predict::PredictOutcome;
-pub use oneclass::{train_one_class, OneClassModel, OneClassParams};
 pub use svr::{train_svr, SvrModel, SvrParams};
 pub use telemetry::{BinaryTrainStats, PredictReport, TrainReport};
 pub use trainer::{MpSvmTrainer, TrainError, TrainOutcome};

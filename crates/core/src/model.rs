@@ -101,7 +101,11 @@ impl MpSvmModel {
             KernelKind::Linear => {
                 let _ = writeln!(out, "kernel linear");
             }
-            KernelKind::Poly { gamma, coef0, degree } => {
+            KernelKind::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => {
                 let _ = writeln!(out, "kernel poly {gamma} {coef0} {degree}");
             }
             KernelKind::Sigmoid { gamma, coef0 } => {
@@ -197,9 +201,7 @@ impl MpSvmModel {
         let pool_cols: usize = ptoks[2].parse().map_err(|_| err(ln + 1, "bad pool cols"))?;
         let mut builder = CsrBuilder::new(pool_cols.max(1));
         for _ in 0..pool_rows {
-            let (ln, row_line) = lines
-                .next()
-                .ok_or_else(|| err(0, "truncated sv_pool"))?;
+            let (ln, row_line) = lines.next().ok_or_else(|| err(0, "truncated sv_pool"))?;
             builder.start_row();
             for tok in row_line.split_whitespace() {
                 let (i, v) = tok
@@ -321,10 +323,7 @@ mod tests {
     use super::*;
 
     fn sample_model() -> MpSvmModel {
-        let sv_pool = CsrMatrix::from_dense(
-            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![1.5, -0.5]],
-            2,
-        );
+        let sv_pool = CsrMatrix::from_dense(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![1.5, -0.5]], 2);
         MpSvmModel {
             classes: 3,
             kernel: KernelKind::Rbf { gamma: 0.25 },
@@ -416,8 +415,7 @@ mod tests {
         assert_eq!(e.line, 1);
         let e = MpSvmModel::from_text("gmp-svm-model v1\nclasses x\n").unwrap_err();
         assert_eq!(e.line, 2);
-        let e =
-            MpSvmModel::from_text("gmp-svm-model v1\nclasses 2\nkernel warp 1\n").unwrap_err();
+        let e = MpSvmModel::from_text("gmp-svm-model v1\nclasses 2\nkernel warp 1\n").unwrap_err();
         assert_eq!(e.line, 3);
     }
 
@@ -429,10 +427,7 @@ mod tests {
         assert_eq!(b.intern(5), 1);
         assert_eq!(b.intern(10), 0);
         assert_eq!(b.len(), 2);
-        let x = CsrMatrix::from_dense(
-            &(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-            1,
-        );
+        let x = CsrMatrix::from_dense(&(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>(), 1);
         let pool = b.build(&x);
         assert_eq!(pool.nrows(), 2);
         assert_eq!(pool.row(0).values, &[10.0]);

@@ -110,7 +110,11 @@ mod tests {
         assert!(points[0].cv_error <= points[3].cv_error);
         assert_eq!(best.c, points[0].c);
         // Best parameters classify the blobs well.
-        assert!(points[0].cv_error < 0.2, "best cv error {}", points[0].cv_error);
+        assert!(
+            points[0].cv_error < 0.2,
+            "best cv error {}",
+            points[0].cv_error
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ impl OneClassModel {
 
     /// Inlier predictions (`decision > 0`).
     pub fn predict_inlier(&self, test: &CsrMatrix) -> Vec<bool> {
-        self.decision_values(test).iter().map(|&v| v > 0.0).collect()
+        self.decision_values(test)
+            .iter()
+            .map(|&v| v > 0.0)
+            .collect()
     }
 
     /// Number of support vectors.
@@ -219,10 +222,8 @@ mod tests {
         let x = cluster();
         let m = train_one_class(params(0.1), &x);
         // Far-away probes.
-        let novel = CsrMatrix::from_dense(
-            &[vec![10.0, 10.0], vec![-8.0, 5.0], vec![0.0, -12.0]],
-            2,
-        );
+        let novel =
+            CsrMatrix::from_dense(&[vec![10.0, 10.0], vec![-8.0, 5.0], vec![0.0, -12.0]], 2);
         for (i, v) in m.decision_values(&novel).iter().enumerate() {
             assert!(*v < 0.0, "novel point {i} scored {v}");
         }

@@ -12,7 +12,7 @@ use crate::params::SvmParams;
 use crate::predict::error_rate;
 use gmp_datasets::Dataset;
 use gmp_gpusim::{CpuExecutor, Executor, HostConfig};
-use gmp_kernel::{BufferedRows, KernelOracle, KernelKind, ReplacementPolicy};
+use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_prob::{sigmoid_predict, sigmoid_train, SigmoidParams};
 use gmp_smo::{decision_values_for, decision_values_from_f, BatchedSmoSolver};
 use gmp_sparse::CsrMatrix;

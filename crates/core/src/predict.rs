@@ -3,8 +3,9 @@
 use crate::model::MpSvmModel;
 use crate::params::Backend;
 use crate::telemetry::PredictReport;
-use crate::trainer::TrainError;
+use crate::trainer::{resolve_host_threads_opt, TrainError};
 use gmp_gpusim::cost::KernelCost;
+use gmp_gpusim::pool::parallel_fill;
 use gmp_gpusim::{CpuExecutor, Device, Executor, HostConfig, Stream};
 use gmp_kernel::KernelOracle;
 use gmp_prob::{couple_gaussian, sigmoid_predict, PairwiseProbs};
@@ -41,7 +42,22 @@ impl MpSvmModel {
         test: &CsrMatrix,
         backend: &Backend,
     ) -> Result<PredictOutcome, TrainError> {
+        self.predict_with_threads(test, backend, None)
+    }
+
+    /// [`MpSvmModel::predict`] with an explicit real host-thread count for
+    /// the numeric work (kernel blocks, decision accumulation, sigmoids,
+    /// coupling). `None` = auto (`GMP_HOST_THREADS` env var, else available
+    /// parallelism). An explicit value is honoured verbatim, so the
+    /// multi-threaded path can be exercised on any machine.
+    pub fn predict_with_threads(
+        &self,
+        test: &CsrMatrix,
+        backend: &Backend,
+        host_threads: Option<usize>,
+    ) -> Result<PredictOutcome, TrainError> {
         let wall = Instant::now();
+        let ht = resolve_host_threads_opt(host_threads);
         let m = test.nrows();
         let k = self.classes;
         let n_binaries = self.binaries.len();
@@ -67,11 +83,28 @@ impl MpSvmModel {
         let sim_decision_start = exec.elapsed();
 
         if m > 0 && self.sv_pool.nrows() > 0 {
+            // Squared norms of every test row, once for all chunks and all
+            // binary SVMs (the unshared path would otherwise recompute them
+            // per binary).
+            let test_norms = test.row_norms_sq();
             if shared {
-                kernel_evals += self.decisions_shared(test, exec, device.as_ref(), &mut decision_values)?;
+                kernel_evals += self.decisions_shared(
+                    test,
+                    &test_norms,
+                    exec,
+                    device.as_ref(),
+                    ht,
+                    &mut decision_values,
+                )?;
             } else {
-                kernel_evals +=
-                    self.decisions_unshared(test, exec, device.as_ref(), &mut decision_values)?;
+                kernel_evals += self.decisions_unshared(
+                    test,
+                    &test_norms,
+                    exec,
+                    device.as_ref(),
+                    ht,
+                    &mut decision_values,
+                )?;
             }
         } else {
             for row in decision_values.iter_mut() {
@@ -87,15 +120,18 @@ impl MpSvmModel {
         let has_prob = self.has_probability();
         let mut pairwise: Vec<PairwiseProbs> = Vec::new();
         if has_prob && m > 0 {
-            pairwise.reserve(m);
-            for dv in &decision_values {
+            // Per-instance sigmoid application is embarrassingly parallel;
+            // each slot is written by exactly one thread.
+            pairwise = vec![PairwiseProbs::new(k.max(2)); m];
+            parallel_fill(ht, &mut pairwise, |i| {
+                let dv = &decision_values[i];
                 let mut r = PairwiseProbs::new(k.max(2));
                 for (bi, b) in self.binaries.iter().enumerate() {
                     let sig = b.sigmoid.as_ref().expect("has_probability checked");
                     r.set(b.s as usize, b.t as usize, sigmoid_predict(dv[bi], sig));
                 }
-                pairwise.push(r);
-            }
+                r
+            });
             exec.charge(KernelCost::map((m * n_binaries) as u64, 8, 16));
         }
         let sim_sigmoid_s = exec.elapsed() - sim_sigmoid_start;
@@ -104,22 +140,17 @@ impl MpSvmModel {
         let sim_coupling_start = exec.elapsed();
         let mut probabilities: Vec<Vec<f64>> = Vec::new();
         let labels: Vec<u32> = if has_prob && m > 0 {
-            probabilities.reserve(m);
             // One Gaussian elimination (k³/3 flops) per instance, all
-            // instances in parallel on the device (§3.2 Phase iii).
+            // instances in parallel on the device (§3.2 Phase iii) — and
+            // genuinely in parallel on the host.
             exec.charge(KernelCost::map(
                 m as u64,
                 ((k * k * k) / 3).max(1) as u64,
                 (k * k * 8) as u64,
             ));
-            let mut labels = Vec::with_capacity(m);
-            for r in &pairwise {
-                let p = couple_gaussian(r);
-                let best = argmax(&p);
-                probabilities.push(p);
-                labels.push(best as u32);
-            }
-            labels
+            probabilities = vec![Vec::new(); m];
+            parallel_fill(ht, &mut probabilities, |i| couple_gaussian(&pairwise[i]));
+            probabilities.iter().map(|p| argmax(p) as u32).collect()
         } else {
             // One-against-one voting.
             decision_values
@@ -149,6 +180,7 @@ impl MpSvmModel {
             sim_decision_s,
             sim_sigmoid_s,
             sim_coupling_s,
+            host_threads: ht,
         };
         Ok(PredictOutcome {
             labels,
@@ -162,12 +194,15 @@ impl MpSvmModel {
     fn decisions_shared(
         &self,
         test: &CsrMatrix,
+        test_norms: &[f64],
         exec: &dyn Executor,
         device: Option<&Device>,
+        host_threads: usize,
         out: &mut [Vec<f64>],
     ) -> Result<u64, TrainError> {
         let n_sv = self.sv_pool.nrows();
-        let oracle = KernelOracle::new(Arc::new(self.sv_pool.clone()), self.kernel);
+        let oracle = KernelOracle::new(Arc::new(self.sv_pool.clone()), self.kernel)
+            .with_host_threads(host_threads);
         // Device residency: SV pool + one chunk of the kernel block.
         let _sv_mem = match device {
             Some(d) => {
@@ -188,23 +223,28 @@ impl MpSvmModel {
                 None => None,
             };
             let mut block = DenseMatrix::zeros(rows.len(), n_sv);
-            oracle.compute_cross(exec, test, &rows, &mut block);
+            oracle.compute_cross_with_norms(exec, test, &rows, test_norms, &mut block);
             // All binary SVMs index into the same block.
             exec.charge(KernelCost::map(
                 (rows.len() * self.total_sv_refs()) as u64,
                 2,
                 16,
             ));
-            for (bi, b) in self.binaries.iter().enumerate() {
-                for (ri, t) in (start..end).enumerate() {
-                    let krow = block.row(ri);
+            // Accumulate per test row: rows are independent, so each worker
+            // builds complete decision rows for a disjoint slice of `out`.
+            let block = &block;
+            parallel_fill(host_threads, &mut out[start..end], |ri| {
+                let krow = block.row(ri);
+                let mut dv = vec![0.0f64; self.binaries.len()];
+                for (bi, b) in self.binaries.iter().enumerate() {
                     let mut v = 0.0;
                     for (&svi, &c) in b.sv_idx.iter().zip(&b.coef) {
                         v += c * krow[svi as usize];
                     }
-                    out[t][bi] = v - b.rho;
+                    dv[bi] = v - b.rho;
                 }
-            }
+                dv
+            });
             start = end;
         }
         Ok(oracle.eval_count())
@@ -214,8 +254,10 @@ impl MpSvmModel {
     fn decisions_unshared(
         &self,
         test: &CsrMatrix,
+        test_norms: &[f64],
         exec: &dyn Executor,
         device: Option<&Device>,
+        host_threads: usize,
         out: &mut [Vec<f64>],
     ) -> Result<u64, TrainError> {
         let mut evals = 0u64;
@@ -237,7 +279,7 @@ impl MpSvmModel {
                 }
                 None => None,
             };
-            let oracle = KernelOracle::new(svs, self.kernel);
+            let oracle = KernelOracle::new(svs, self.kernel).with_host_threads(host_threads);
             let n_sv = sv_rows.len();
             let chunk = chunk_rows(test.nrows(), n_sv, device);
             let mut start = 0usize;
@@ -249,7 +291,7 @@ impl MpSvmModel {
                     None => None,
                 };
                 let mut block = DenseMatrix::zeros(rows.len(), n_sv);
-                oracle.compute_cross(exec, test, &rows, &mut block);
+                oracle.compute_cross_with_norms(exec, test, &rows, test_norms, &mut block);
                 exec.charge(KernelCost::map((rows.len() * n_sv) as u64, 2, 16));
                 for (ri, t) in (start..end).enumerate() {
                     let krow = block.row(ri);
@@ -303,11 +345,7 @@ pub fn error_rate(predicted: &[u32], truth: &[u32]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let wrong = predicted
-        .iter()
-        .zip(truth)
-        .filter(|(a, b)| a != b)
-        .count();
+    let wrong = predicted.iter().zip(truth).filter(|(a, b)| a != b).count();
     wrong as f64 / predicted.len() as f64
 }
 
@@ -328,7 +366,10 @@ mod tests {
         }
         .generate();
         let out = MpSvmTrainer::new(
-            SvmParams::default().with_c(2.0).with_rbf(1.0).with_working_set(32, 16),
+            SvmParams::default()
+                .with_c(2.0)
+                .with_rbf(1.0)
+                .with_working_set(32, 16),
             Backend::gmp_default(),
         )
         .train(&data)
@@ -409,7 +450,10 @@ mod tests {
         let r = &pred.report;
         let phases = r.sim_decision_s + r.sim_sigmoid_s + r.sim_coupling_s;
         assert!(phases <= r.sim_s + 1e-9);
-        assert!(r.sim_decision_s > r.sim_coupling_s, "decision dominates (Fig 12)");
+        assert!(
+            r.sim_decision_s > r.sim_coupling_s,
+            "decision dominates (Fig 12)"
+        );
     }
 
     #[test]

@@ -373,8 +373,22 @@ mod tests {
             c: 5.0,
             ..Default::default()
         };
-        let loose = train_svr(SvrParams { epsilon: 0.5, ..base }, &dense(&x, 1), &z);
-        let tight = train_svr(SvrParams { epsilon: 0.01, ..base }, &dense(&x, 1), &z);
+        let loose = train_svr(
+            SvrParams {
+                epsilon: 0.5,
+                ..base
+            },
+            &dense(&x, 1),
+            &z,
+        );
+        let tight = train_svr(
+            SvrParams {
+                epsilon: 0.01,
+                ..base
+            },
+            &dense(&x, 1),
+            &z,
+        );
         assert!(
             tight.n_sv() > loose.n_sv(),
             "tight {} vs loose {}",
@@ -404,7 +418,9 @@ mod tests {
 
     #[test]
     fn equality_constraint_on_collapsed_coefficients() {
-        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64 * 0.37).sin(), i as f64 / 30.0]).collect();
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64 * 0.37).sin(), i as f64 / 30.0])
+            .collect();
         let z: Vec<f64> = x.iter().map(|v| v[0] + 0.5 * v[1]).collect();
         let model = train_svr(
             SvrParams {

@@ -57,6 +57,8 @@ pub struct TrainReport {
     pub sigmoid_sim_s: f64,
     /// Binary SVMs trained concurrently per wave (1 = sequential).
     pub concurrency: usize,
+    /// Real host threads that drove concurrent work (1 = sequential).
+    pub host_threads: usize,
 }
 
 impl TrainReport {
@@ -92,6 +94,8 @@ pub struct PredictReport {
     pub sim_sigmoid_s: f64,
     /// Simulated time solving the coupling problem (Equation 15).
     pub sim_coupling_s: f64,
+    /// Real host threads that drove concurrent work (1 = sequential).
+    pub host_threads: usize,
 }
 
 impl PredictReport {

@@ -8,11 +8,12 @@ use gmp_datasets::Dataset;
 use gmp_gpusim::cost::KernelCost;
 use gmp_gpusim::{CpuExecutor, Device, DeviceError, Executor, HostConfig, Stream};
 use gmp_kernel::{
-    BufferedRows, ClassLayout, KernelOracle, ReplacementPolicy, SharedKernelStore,
-    SharedRows,
+    BufferedRows, ClassLayout, KernelOracle, ReplacementPolicy, SharedKernelStore, SharedRows,
 };
 use gmp_prob::{sigmoid_train, SigmoidParams};
-use gmp_smo::{decision_values_for, decision_values_from_f, BatchedSmoSolver, ClassicSmoSolver, SolverResult};
+use gmp_smo::{
+    decision_values_for, decision_values_from_f, BatchedSmoSolver, ClassicSmoSolver, SolverResult,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,6 +66,10 @@ pub struct MpSvmTrainer {
     /// Per-class penalty multipliers (LibSVM's `-wi`): instance `i` of
     /// class `c` gets box cap `C · class_weights[c]`. Empty = unweighted.
     class_weights: Vec<f64>,
+    /// Real host threads driving concurrent binary problems in the GMP
+    /// backend's waves. `None` = auto (`GMP_HOST_THREADS` env var, else the
+    /// machine's available parallelism).
+    host_threads: Option<usize>,
 }
 
 /// Result of one binary problem: solver output + sigmoid + stream time.
@@ -82,7 +87,23 @@ impl MpSvmTrainer {
             params,
             backend,
             class_weights: Vec::new(),
+            host_threads: None,
         }
+    }
+
+    /// Pin the number of real host threads used to run concurrent binary
+    /// problems (GMP backend waves). An explicit value is honoured verbatim
+    /// — it is NOT clamped to the machine's core count, so tests can
+    /// exercise the multi-threaded path on any box. `None` (the default)
+    /// resolves from the `GMP_HOST_THREADS` environment variable, falling
+    /// back to available parallelism.
+    pub fn with_host_threads(mut self, threads: Option<usize>) -> Self {
+        self.host_threads = threads;
+        self
+    }
+
+    fn resolve_host_threads(&self) -> usize {
+        resolve_host_threads_opt(self.host_threads)
     }
 
     /// Weight the penalty per class (LibSVM's `-wi`): class `c` instances
@@ -125,23 +146,20 @@ impl MpSvmTrainer {
         let wall_start = Instant::now();
         let (grouped, offsets, map, problems) = ovo::decompose(data);
 
-        let (fits, sim_s, device, peak_mem, concurrency) = match &self.backend {
+        let (fits, sim_s, device, peak_mem, concurrency, host_threads) = match &self.backend {
             Backend::CpuClassic { threads } => {
-                let (fits, sim) =
-                    self.train_cpu_classic(&grouped, &offsets, &problems, *threads);
-                (fits, sim, None, 0, 1)
+                let (fits, sim) = self.train_cpu_classic(&grouped, &offsets, &problems, *threads);
+                (fits, sim, None, 0, 1, effective_host_threads(*threads))
             }
             Backend::CpuBatched { threads } => {
-                let (fits, sim) =
-                    self.train_cpu_batched(&grouped, &offsets, &problems, *threads);
-                (fits, sim, None, 0, 1)
+                let (fits, sim) = self.train_cpu_batched(&grouped, &offsets, &problems, *threads);
+                (fits, sim, None, 0, 1, effective_host_threads(*threads))
             }
             Backend::GpuBaseline { device } => {
                 let dev = Device::new(device.clone());
-                let (fits, sim) =
-                    self.train_gpu_baseline(&grouped, &offsets, &problems, &dev)?;
+                let (fits, sim) = self.train_gpu_baseline(&grouped, &offsets, &problems, &dev)?;
                 let peak = dev.mem_peak();
-                (fits, sim, Some(dev), peak, 1)
+                (fits, sim, Some(dev), peak, 1, 1)
             }
             Backend::Gmp {
                 device,
@@ -151,7 +169,14 @@ impl MpSvmTrainer {
                 let (fits, sim, conc) =
                     self.train_gmp(&grouped, &offsets, &problems, &dev, *max_concurrent)?;
                 let peak = dev.mem_peak();
-                (fits, sim, Some(dev), peak, conc)
+                (
+                    fits,
+                    sim,
+                    Some(dev),
+                    peak,
+                    conc,
+                    self.resolve_host_threads(),
+                )
             }
         };
 
@@ -222,6 +247,7 @@ impl MpSvmTrainer {
             peak_device_mem: peak_mem,
             sigmoid_sim_s,
             concurrency,
+            host_threads,
         };
         let _ = map; // grouped->original map is carried inside problems
         Ok(TrainOutcome { model, report })
@@ -251,9 +277,8 @@ impl MpSvmTrainer {
             }
             None => None,
         };
-        let oracle = Arc::new(
-            KernelOracle::new(sub, self.params.kernel).with_host_threads(host_threads),
-        );
+        let oracle =
+            Arc::new(KernelOracle::new(sub, self.params.kernel).with_host_threads(host_threads));
         let mut rows = BufferedRows::new(
             oracle.clone(),
             self.params.cache_rows,
@@ -262,8 +287,8 @@ impl MpSvmTrainer {
         )?;
         let sim_before = exec.elapsed();
         let caps = self.caps_for(prob);
-        let result =
-            ClassicSmoSolver::new(self.params.smo()).solve_weighted(&prob.y, &mut rows, exec, &caps);
+        let result = ClassicSmoSolver::new(self.params.smo())
+            .solve_weighted(&prob.y, &mut rows, exec, &caps);
         let sigmoid = self.fit_sigmoid_for(grouped, offsets, prob, &result, exec);
         Ok(BinaryFit {
             kernel_evals: oracle.eval_count(),
@@ -391,13 +416,8 @@ impl MpSvmTrainer {
         );
         let layout = ClassLayout::new(offsets.to_vec());
         let store = Arc::new(
-            SharedKernelStore::new(
-                oracle.clone(),
-                layout,
-                shared_store_budget_bytes(grouped.n()),
-                None,
-            )
-            .expect("host store needs no device memory"),
+            SharedKernelStore::new(oracle, layout, shared_store_budget_bytes(grouped.n()), None)
+                .expect("host store needs no device memory"),
         );
         let solver = BatchedSmoSolver::new(self.params.batched());
         let mut fits = Vec::with_capacity(problems.len());
@@ -408,13 +428,12 @@ impl MpSvmTrainer {
                 p.t as usize,
                 self.params.ws_size,
             );
-            let evals_before = oracle.eval_count();
             let sim_before = exec.elapsed();
             let caps = self.caps_for(p);
             let result = solver.solve_weighted(&p.y, &mut rows, &exec, &caps);
             let sigmoid = self.fit_sigmoid_for(grouped, offsets, p, &result, &exec);
             fits.push(BinaryFit {
-                kernel_evals: oracle.eval_count() - evals_before,
+                kernel_evals: result.telemetry.rows.kernel_evals,
                 sim_s: exec.elapsed() - sim_before,
                 result,
                 sigmoid,
@@ -468,7 +487,7 @@ impl MpSvmTrainer {
             .min(device.mem_available() / 2)
             .max(1 << 16);
         let store = Arc::new(SharedKernelStore::new(
-            oracle.clone(),
+            oracle,
             layout,
             budget,
             Some(device),
@@ -476,9 +495,8 @@ impl MpSvmTrainer {
 
         // Concurrency plan: each active problem needs its working-set
         // assembly region (ws x n_pair x 8 B) on the device.
-        let footprint = |p: &BinaryProblem| -> u64 {
-            (self.params.ws_size.min(p.n()) * p.n() * 8) as u64
-        };
+        let footprint =
+            |p: &BinaryProblem| -> u64 { (self.params.ws_size.min(p.n()) * p.n() * 8) as u64 };
         let upper = if max_concurrent == 0 {
             8
         } else {
@@ -496,37 +514,122 @@ impl MpSvmTrainer {
         }
 
         let solver = BatchedSmoSolver::new(self.params.batched());
+        let host_threads = self.resolve_host_threads();
         let mut fits: Vec<Option<BinaryFit>> = (0..problems.len()).map(|_| None).collect();
         for wave in (0..problems.len()).collect::<Vec<_>>().chunks(conc) {
             let frac = 1.0 / wave.len() as f64;
-            let mut wave_max = 0.0f64;
+            // Claim every active problem's working-set region up front, so
+            // device-memory exhaustion surfaces as an error here rather
+            // than a panic inside a worker thread. The regions live until
+            // the whole wave retires — exactly the concurrency plan above.
+            let mut ws_mems = Vec::with_capacity(wave.len());
             for &pi in wave {
-                let p = &problems[pi];
-                let stream = Stream::new(device.clone(), frac);
-                let _ws_mem = device.alloc(footprint(p))?;
-                let mut rows = SharedRows::new(
-                    store.clone(),
-                    p.s as usize,
-                    p.t as usize,
-                    self.params.ws_size,
-                );
-                let evals_before = oracle.eval_count();
-                let caps = self.caps_for(p);
-                let result = solver.solve_weighted(&p.y, &mut rows, &stream, &caps);
-                let sigmoid = self.fit_sigmoid_for(grouped, offsets, p, &result, &stream);
-                let fit = BinaryFit {
-                    kernel_evals: oracle.eval_count() - evals_before,
-                    sim_s: stream.elapsed(),
-                    result,
-                    sigmoid,
-                };
-                wave_max = wave_max.max(fit.sim_s);
-                fits[pi] = Some(fit);
+                ws_mems.push(device.alloc(footprint(&problems[pi]))?);
             }
+            let workers = host_threads.min(wave.len()).max(1);
+            if workers == 1 {
+                // Sequential reference path (also the bit-exactness anchor
+                // for the concurrency tests).
+                for &pi in wave {
+                    fits[pi] = Some(self.solve_gmp_one(
+                        grouped,
+                        offsets,
+                        &problems[pi],
+                        &store,
+                        device,
+                        frac,
+                        &solver,
+                    ));
+                }
+            } else {
+                // Tentpole: the wave's binary problems run on real host
+                // threads, all hammering the one shared kernel store. Work
+                // is dealt round-robin so the assignment (and thus every
+                // per-problem result) is deterministic; single-flight in
+                // the store keeps each (row, class) segment computed once
+                // regardless of interleaving.
+                let solved = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let store = &store;
+                            let solver = &solver;
+                            s.spawn(move |_| {
+                                let mut out: Vec<(usize, BinaryFit)> = Vec::new();
+                                for (wi, &pi) in wave.iter().enumerate() {
+                                    if wi % workers != w {
+                                        continue;
+                                    }
+                                    let fit = self.solve_gmp_one(
+                                        grouped,
+                                        offsets,
+                                        &problems[pi],
+                                        store,
+                                        device,
+                                        frac,
+                                        solver,
+                                    );
+                                    out.push((pi, fit));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("wave worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+                .expect("wave scope panicked");
+                for (pi, fit) in solved {
+                    fits[pi] = Some(fit);
+                }
+            }
+            drop(ws_mems);
+            let wave_max = wave
+                .iter()
+                .map(|&pi| fits[pi].as_ref().expect("wave slot filled").sim_s)
+                .fold(0.0f64, f64::max);
             total_sim += wave_max;
         }
-        let fits: Vec<BinaryFit> = fits.into_iter().map(|f| f.expect("all waves ran")).collect();
+        let fits: Vec<BinaryFit> = fits
+            .into_iter()
+            .map(|f| f.expect("all waves ran"))
+            .collect();
         Ok((fits, total_sim, conc))
+    }
+
+    /// Solve one GMP binary problem on its own fractional stream against
+    /// the shared kernel store. Safe to call from concurrent wave workers:
+    /// every mutable structure (stream, rows view, solver state) is local,
+    /// and per-problem `kernel_evals` come from the store's owner-attributed
+    /// accounting rather than racy oracle-counter deltas.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_gmp_one(
+        &self,
+        grouped: &Dataset,
+        offsets: &[usize],
+        p: &BinaryProblem,
+        store: &Arc<SharedKernelStore>,
+        device: &Device,
+        frac: f64,
+        solver: &BatchedSmoSolver,
+    ) -> BinaryFit {
+        let stream = Stream::new(device.clone(), frac);
+        let mut rows = SharedRows::new(
+            store.clone(),
+            p.s as usize,
+            p.t as usize,
+            self.params.ws_size,
+        );
+        let caps = self.caps_for(p);
+        let result = solver.solve_weighted(&p.y, &mut rows, &stream, &caps);
+        let sigmoid = self.fit_sigmoid_for(grouped, offsets, p, &result, &stream);
+        BinaryFit {
+            kernel_evals: result.telemetry.rows.kernel_evals,
+            sim_s: stream.elapsed(),
+            result,
+            sigmoid,
+        }
     }
 }
 
@@ -536,6 +639,25 @@ impl MpSvmTrainer {
 fn shared_store_budget_bytes(n: usize) -> u64 {
     // 4096 full rows, at least 1 MiB.
     ((4096 * n * 8) as u64).max(1 << 20)
+}
+
+/// Resolve a real host-thread count. An explicit request is honoured
+/// verbatim (so tests can force the multi-threaded path on a single-core
+/// box); auto consults the `GMP_HOST_THREADS` environment variable, then
+/// the machine's available parallelism.
+pub(crate) fn resolve_host_threads_opt(explicit: Option<usize>) -> usize {
+    match explicit {
+        Some(n) => n.max(1),
+        None => std::env::var("GMP_HOST_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+    }
 }
 
 /// Real host threads to use for numeric work (the cost model still charges
@@ -572,7 +694,9 @@ mod tests {
     }
 
     fn train_with(backend: Backend) -> TrainOutcome {
-        MpSvmTrainer::new(params(), backend).train(&blobs3()).unwrap()
+        MpSvmTrainer::new(params(), backend)
+            .train(&blobs3())
+            .unwrap()
     }
 
     #[test]
@@ -615,13 +739,15 @@ mod tests {
 
     #[test]
     fn gmp_computes_fewer_kernel_values_than_baseline() {
-        // The paper's regime: the problem is hard (many iterations) and
-        // the baseline's cache covers only a slice of the kernel matrix.
+        // The paper's regime: the problem is hard (many iterations), the
+        // baseline's cache covers only a slice of the kernel matrix, and
+        // enough classes that every (row, class) segment is reused by
+        // several binary problems (k - 1 of the k(k-1)/2 share it).
         // Equal memory for both: baseline cache = GMP working set.
         let data = BlobSpec {
             n: 240,
             dim: 2,
-            classes: 3,
+            classes: 4,
             spread: 0.55, // heavy class overlap -> many SVs, many iterations
             seed: 21,
         }
@@ -671,7 +797,9 @@ mod tests {
         }
         .generate();
         let p = SvmParams::default().with_c(5.0).with_rbf(0.5);
-        let one = MpSvmTrainer::new(p, Backend::libsvm()).train(&data).unwrap();
+        let one = MpSvmTrainer::new(p, Backend::libsvm())
+            .train(&data)
+            .unwrap();
         let forty = MpSvmTrainer::new(p, Backend::libsvm_openmp())
             .train(&data)
             .unwrap();
@@ -736,7 +864,10 @@ mod tests {
             }
         }
         let data = Dataset::new(gmp_sparse::CsrMatrix::from_dense(&x, 2), y);
-        let p = SvmParams::default().with_c(0.5).with_rbf(20.0).with_working_set(32, 16);
+        let p = SvmParams::default()
+            .with_c(0.5)
+            .with_rbf(20.0)
+            .with_working_set(32, 16);
         let minority_errors = |weights: Vec<f64>| -> usize {
             let trainer = MpSvmTrainer::new(p, Backend::libsvm()).with_class_weights(weights);
             let out = trainer.train(&data).unwrap();

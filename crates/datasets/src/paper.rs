@@ -197,8 +197,7 @@ impl PaperDataset {
     /// see `crate::synth` docs.
     pub fn generate(&self, scale: f64) -> Dataset {
         let spec = self.spec();
-        let n = ((spec.cardinality as f64 * scale).round() as usize)
-            .max(8 * spec.classes);
+        let n = ((spec.cardinality as f64 * scale).round() as usize).max(8 * spec.classes);
         let dim = spec.dimension;
         SynthSpec {
             n,
@@ -273,7 +272,11 @@ mod tests {
     fn gamma_operating_range() {
         // γ·E[||xi - xj||²] should land near [0.1, 1.5] for RBF to be
         // informative.
-        for ds in [PaperDataset::Adult, PaperDataset::Cifar10, PaperDataset::News20] {
+        for ds in [
+            PaperDataset::Adult,
+            PaperDataset::Cifar10,
+            PaperDataset::News20,
+        ] {
             let spec = ds.spec();
             let d = ds.generate(0.005);
             let mut acc = 0.0;

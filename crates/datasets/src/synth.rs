@@ -42,13 +42,15 @@ impl SynthSpec {
     /// Generate the dataset.
     pub fn generate(&self) -> Dataset {
         assert!(self.classes >= 2, "need at least two classes");
-        assert!(self.dim >= self.classes, "need at least one feature per class");
+        assert!(
+            self.dim >= self.classes,
+            "need at least one feature per class"
+        );
         assert!((0.0..=1.0).contains(&self.class_sep));
         assert!((0.0..=1.0).contains(&self.label_noise));
         let mut rng = StdRng::seed_from_u64(self.seed);
 
-        let nnz_per_row = ((self.density * self.dim as f64).round() as usize)
-            .clamp(1, self.dim);
+        let nnz_per_row = ((self.density * self.dim as f64).round() as usize).clamp(1, self.dim);
         // Class signatures: disjoint feature bands plus a shared pool. The
         // band is kept narrow relative to the per-row signature count so
         // that two instances of the same class share many features (high
@@ -87,10 +89,7 @@ impl SynthSpec {
             cols.dedup();
 
             // Values: positive, jittered; then normalize and scale.
-            let vals: Vec<f64> = cols
-                .iter()
-                .map(|_| 0.5 + rng.gen::<f64>())
-                .collect();
+            let vals: Vec<f64> = cols.iter().map(|_| 0.5 + rng.gen::<f64>()).collect();
             let norm: f64 = vals.iter().map(|v| v * v).sum::<f64>().sqrt();
             b.start_row();
             for (&col, v) in cols.iter().zip(&vals) {

@@ -47,7 +47,13 @@ impl KernelCost {
     /// with `total_flops` multiply-adds. The batch operand (`batch_bytes`)
     /// is staged once — this is the §3.3.1 amortization: the data matrix
     /// (`data_bytes`) is streamed once *per batch*, not once per row.
-    pub fn row_batch(batch_rows: u64, n: u64, total_flops: u64, batch_bytes: u64, data_bytes: u64) -> Self {
+    pub fn row_batch(
+        batch_rows: u64,
+        n: u64,
+        total_flops: u64,
+        batch_bytes: u64,
+        data_bytes: u64,
+    ) -> Self {
         KernelCost {
             threads: batch_rows * n,
             flops: total_flops,
@@ -97,14 +103,13 @@ pub fn pcie_time(cfg: &DeviceConfig, bytes: u64) -> f64 {
 /// therefore never regress when threads are added.
 pub fn cpu_region_time(cfg: &HostConfig, cost: &KernelCost) -> f64 {
     let mem_s = cost.bytes_total() as f64 / (cfg.mem_bandwidth_gbps * 1e9);
-    let serial_compute_s =
-        cost.flops as f64 / (cfg.clock_ghz * 1e9 * cfg.flops_per_cycle);
+    let serial_compute_s = cost.flops as f64 / (cfg.clock_ghz * 1e9 * cfg.flops_per_cycle);
     let serial = serial_compute_s.max(mem_s);
     if cfg.cores <= 1 {
         return serial;
     }
-    let parallel = cfg.parallel_overhead_us * 1e-6
-        + (cost.flops as f64 / cfg.peak_flops()).max(mem_s);
+    let parallel =
+        cfg.parallel_overhead_us * 1e-6 + (cost.flops as f64 / cfg.peak_flops()).max(mem_s);
     parallel.min(serial)
 }
 
@@ -118,7 +123,16 @@ mod tests {
 
     #[test]
     fn zero_thread_launch_costs_overhead_only() {
-        let t = gpu_launch_time(&p100(), &KernelCost { threads: 0, flops: 0, bytes_read: 0, bytes_written: 0 }, 1.0);
+        let t = gpu_launch_time(
+            &p100(),
+            &KernelCost {
+                threads: 0,
+                flops: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+            },
+            1.0,
+        );
         assert!((t - 5e-6).abs() < 1e-12);
     }
 
@@ -190,7 +204,12 @@ mod tests {
         let pcie = pcie_time(&cfg, bytes);
         let mem = gpu_launch_time(
             &cfg,
-            &KernelCost { threads: 1, flops: 0, bytes_read: bytes, bytes_written: 0 },
+            &KernelCost {
+                threads: 1,
+                flops: 0,
+                bytes_read: bytes,
+                bytes_written: 0,
+            },
             1.0,
         );
         assert!(pcie > 10.0 * mem, "pcie {pcie} vs mem {mem}");

@@ -207,6 +207,44 @@ mod tests {
     fn names_identify_executors() {
         let dev = Device::new(DeviceConfig::tesla_p100());
         assert!(Stream::new(dev, 0.25).name().contains("0.25"));
-        assert_eq!(CpuExecutor::new(HostConfig::xeon_e5_2640_v4(40)).name(), "cpu-40t");
+        assert_eq!(
+            CpuExecutor::new(HostConfig::xeon_e5_2640_v4(40)).name(),
+            "cpu-40t"
+        );
+    }
+
+    #[test]
+    fn executors_are_shareable_across_threads() {
+        // Compile-time guarantee the trainer's wave workers rely on.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Stream>();
+        assert_send_sync::<CpuExecutor>();
+        assert_send_sync::<Device>();
+    }
+
+    #[test]
+    fn concurrent_charges_sum_exactly() {
+        // 4 threads x 50 identical charges on one shared stream must land
+        // on the clock exactly like 200 sequential charges: every increment
+        // adds the same value, so the final sum is order-independent.
+        let dev = Device::new(DeviceConfig::tesla_p100());
+        let shared = Stream::new(dev.clone(), 0.5);
+        let reference = Stream::new(dev.clone(), 0.5);
+        for _ in 0..200 {
+            reference.charge(KernelCost::reduction(1 << 12));
+        }
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = &shared;
+                s.spawn(move |_| {
+                    for _ in 0..50 {
+                        shared.charge(KernelCost::reduction(1 << 12));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(shared.elapsed().to_bits(), reference.elapsed().to_bits());
+        assert_eq!(dev.stats().launches, 400);
     }
 }

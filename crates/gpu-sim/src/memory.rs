@@ -286,4 +286,28 @@ mod tests {
         let _a = d.alloc(500).unwrap();
         assert_eq!(d2.mem_used(), 500);
     }
+
+    #[test]
+    fn concurrent_alloc_free_never_leaks_or_overshoots() {
+        // 8 threads churn allocations sized so that all can be live at
+        // once: no request may fail, the budget may never be exceeded, and
+        // everything must be returned at the end.
+        let d = dev(8 * 10);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let d = &d;
+                s.spawn(move |_| {
+                    for _ in 0..200 {
+                        let a = d.alloc(10).expect("within per-thread budget");
+                        assert!(d.mem_used() <= 80, "budget exceeded");
+                        drop(a);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(d.mem_used(), 0);
+        assert!(d.mem_peak() <= 80);
+        assert!(d.mem_peak() >= 10);
+    }
 }

@@ -154,10 +154,21 @@ mod tests {
     #[test]
     fn fold_is_deterministic_per_thread_count() {
         let data: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
-        let once = parallel_fold(3, data.len(), 0.0, |a, r| a + data[r].iter().sum::<f64>(), |a, b| a + b);
+        let once = parallel_fold(
+            3,
+            data.len(),
+            0.0,
+            |a, r| a + data[r].iter().sum::<f64>(),
+            |a, b| a + b,
+        );
         for _ in 0..5 {
-            let again =
-                parallel_fold(3, data.len(), 0.0, |a, r| a + data[r].iter().sum::<f64>(), |a, b| a + b);
+            let again = parallel_fold(
+                3,
+                data.len(),
+                0.0,
+                |a, r| a + data[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            );
             assert_eq!(once.to_bits(), again.to_bits());
         }
     }

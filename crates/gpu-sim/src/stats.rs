@@ -130,4 +130,28 @@ mod tests {
         c.reset();
         assert_eq!(c.snapshot(), DeviceStats::default());
     }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let c = StatsCell::default();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move |_| {
+                    for _ in 0..250 {
+                        c.record_launch(3, 2, 1.0);
+                        c.record_transfer(5, 1.0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let snap = c.snapshot();
+        assert_eq!(snap.launches, 1000);
+        assert_eq!(snap.flops, 3000);
+        assert_eq!(snap.bytes_global, 2000);
+        assert_eq!(snap.bytes_pcie, 5000);
+        assert_eq!(snap.sim_compute_s, 1000.0);
+        assert_eq!(snap.sim_transfer_s, 1000.0);
+    }
 }

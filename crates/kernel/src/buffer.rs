@@ -61,6 +61,11 @@ pub struct KernelBuffer {
     /// FIFO of insertion batches (ids may have been evicted individually
     /// by pinning; stale entries are skipped).
     batches: VecDeque<Vec<u32>>,
+    /// Retired batch vectors, recycled by `insert_batch` so the steady
+    /// state never allocates.
+    batch_pool: Vec<Vec<u32>>,
+    /// Scratch for fully-pinned batches held aside during eviction.
+    held: Vec<Vec<u32>>,
     /// LRU clock: id -> last-touch tick.
     last_used: HashMap<u32, u64>,
     tick: u64,
@@ -93,11 +98,13 @@ impl KernelBuffer {
             id_of: vec![u32::MAX; capacity],
             free_slots: (0..capacity).rev().collect(),
             batches: VecDeque::new(),
-            last_used: HashMap::new(),
+            batch_pool: Vec::new(),
+            held: Vec::new(),
+            last_used: HashMap::with_capacity(capacity),
             tick: 0,
             policy,
             stats: BufferStats::default(),
-        _device_mem: device_mem,
+            _device_mem: device_mem,
         })
     }
 
@@ -210,7 +217,10 @@ impl KernelBuffer {
             self.last_used.insert(id, self.tick);
             self.stats.insertions += 1;
         }
-        self.batches.push_back(ids.to_vec());
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        batch.clear();
+        batch.extend_from_slice(ids);
+        self.batches.push_back(batch);
     }
 
     fn evict_some(&mut self, pinned: &[u32]) {
@@ -220,29 +230,32 @@ impl KernelBuffer {
                 // rows, until something was freed. Batches whose rows are
                 // all pinned are held aside (NOT re-examined this call) and
                 // put back at the front afterwards so they stay oldest.
-                let mut held: Vec<Vec<u32>> = Vec::new();
+                // Batch vectors are filtered in place and recycled through
+                // `batch_pool` to keep this path allocation-free.
+                debug_assert!(self.held.is_empty());
                 let mut evicted_any = false;
                 while !evicted_any {
-                    let Some(batch) = self.batches.pop_front() else {
+                    let Some(mut batch) = self.batches.pop_front() else {
                         panic!("buffer full of pinned rows: eviction impossible");
                     };
-                    let mut survivors = Vec::new();
-                    for id in batch {
-                        if !self.contains(id) {
-                            continue; // already evicted (stale entry)
+                    batch.retain(|&id| {
+                        if !self.slot_of.contains_key(&id) {
+                            return false; // already evicted (stale entry)
                         }
                         if pinned.contains(&id) {
-                            survivors.push(id);
-                            continue;
+                            return true;
                         }
                         self.evict_row(id);
                         evicted_any = true;
-                    }
-                    if !survivors.is_empty() {
-                        held.push(survivors);
+                        false
+                    });
+                    if batch.is_empty() {
+                        self.batch_pool.push(batch);
+                    } else {
+                        self.held.push(batch);
                     }
                 }
-                for batch in held.into_iter().rev() {
+                while let Some(batch) = self.held.pop() {
                     self.batches.push_front(batch);
                 }
             }
@@ -272,9 +285,13 @@ impl KernelBuffer {
     pub fn clear(&mut self) {
         self.slot_of.clear();
         self.last_used.clear();
-        self.batches.clear();
+        while let Some(mut batch) = self.batches.pop_front() {
+            batch.clear();
+            self.batch_pool.push(batch);
+        }
         self.id_of.fill(u32::MAX);
-        self.free_slots = (0..self.capacity).rev().collect();
+        self.free_slots.clear();
+        self.free_slots.extend((0..self.capacity).rev());
     }
 }
 

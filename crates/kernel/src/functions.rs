@@ -68,7 +68,7 @@ impl KernelKind {
     /// for the cost model. `exp`/`tanh`/`pow` are charged as multi-FLOP ops.
     pub fn map_flops(&self) -> u64 {
         match self {
-            KernelKind::Rbf { .. } => 8,     // 3 adds/muls + exp(~5)
+            KernelKind::Rbf { .. } => 8, // 3 adds/muls + exp(~5)
             KernelKind::Linear => 0,
             KernelKind::Poly { .. } => 7,    // fma + pow(~5)
             KernelKind::Sigmoid { .. } => 7, // fma + tanh(~5)
@@ -145,7 +145,16 @@ mod tests {
     fn only_rbf_needs_norms() {
         assert!(KernelKind::Rbf { gamma: 1.0 }.needs_norms());
         assert!(!KernelKind::Linear.needs_norms());
-        assert!(!KernelKind::Poly { gamma: 1.0, coef0: 0.0, degree: 2 }.needs_norms());
-        assert!(!KernelKind::Sigmoid { gamma: 1.0, coef0: 0.0 }.needs_norms());
+        assert!(!KernelKind::Poly {
+            gamma: 1.0,
+            coef0: 0.0,
+            degree: 2
+        }
+        .needs_norms());
+        assert!(!KernelKind::Sigmoid {
+            gamma: 1.0,
+            coef0: 0.0
+        }
+        .needs_norms());
     }
 }

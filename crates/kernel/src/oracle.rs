@@ -103,7 +103,10 @@ impl KernelOracle {
         cols: std::ops::Range<usize>,
         out: &mut DenseMatrix,
     ) {
-        assert_eq!(out.nrows(), row_ids.len(), "output row mismatch");
+        // `>=` so callers can reuse an over-sized persistent scratch block
+        // (the allocation-free ensure hot path); only the first
+        // `row_ids.len()` rows are written.
+        assert!(out.nrows() >= row_ids.len(), "output row mismatch");
         assert_eq!(out.ncols(), cols.len(), "output col mismatch");
         if row_ids.is_empty() || cols.is_empty() {
             return;
@@ -115,7 +118,24 @@ impl KernelOracle {
         let ncols = data.ncols();
         // Each batch row is independent: scatter the source row once, then
         // gather-dot every target row in the range and apply the kernel map.
-        let rows_slices = split_rows(out);
+        if self.host_threads == 1 {
+            // Allocation-free path: thread-local scatter scratch, direct
+            // `row_mut` writes (no pointer table needed).
+            with_scatter_scratch(ncols, |scratch| {
+                for (bi, &r) in row_ids.iter().enumerate() {
+                    let src = data.row(r);
+                    src.scatter(scratch);
+                    let norm_r = norms[r];
+                    for (o, j) in out.row_mut(bi).iter_mut().zip(cols.clone()) {
+                        let dot = data.row(j).dot_dense(scratch);
+                        *o = kind.eval(dot, norm_r, norms[j]);
+                    }
+                    src.clear_scatter(scratch);
+                }
+            });
+            return;
+        }
+        let rows_slices = split_rows(out, row_ids.len());
         parallel_for_chunks(self.host_threads, row_ids.len(), |chunk| {
             let mut scratch = vec![0.0; ncols];
             for bi in chunk {
@@ -139,6 +159,10 @@ impl KernelOracle {
     /// Kernel values of rows of `other` against every instance of this
     /// oracle's dataset (prediction: test instances x support vectors).
     /// Charged as one batched launch.
+    ///
+    /// Squared norms of the requested rows are computed once up front; use
+    /// [`KernelOracle::compute_cross_with_norms`] to amortize them across
+    /// calls (prediction chunks, per-binary sweeps).
     pub fn compute_cross(
         &self,
         exec: &dyn Executor,
@@ -146,9 +170,35 @@ impl KernelOracle {
         other_rows: &[usize],
         out: &mut DenseMatrix,
     ) {
-        assert_eq!(out.nrows(), other_rows.len());
+        // Norms of the requested rows only, indexed by global row id.
+        let mut other_norms = vec![0.0; other.nrows()];
+        for &r in other_rows {
+            other_norms[r] = other.row(r).norm_sq();
+        }
+        self.compute_cross_with_norms(exec, other, other_rows, &other_norms, out);
+    }
+
+    /// [`KernelOracle::compute_cross`] with the squared norms of `other`'s
+    /// rows precomputed by the caller (`other_norms[r]` for every `r` in
+    /// `other_rows`) — callers that sweep many chunks or many binary SVMs
+    /// over the same test set compute the norms exactly once instead of
+    /// once per call.
+    pub fn compute_cross_with_norms(
+        &self,
+        exec: &dyn Executor,
+        other: &CsrMatrix,
+        other_rows: &[usize],
+        other_norms: &[f64],
+        out: &mut DenseMatrix,
+    ) {
+        assert!(out.nrows() >= other_rows.len());
         assert_eq!(out.ncols(), self.n());
         assert_eq!(other.ncols(), self.data.ncols(), "dimension mismatch");
+        assert_eq!(
+            other_norms.len(),
+            other.nrows(),
+            "norms must cover all rows"
+        );
         if other_rows.is_empty() || self.n() == 0 {
             return;
         }
@@ -170,14 +220,29 @@ impl KernelOracle {
         let kind = self.kind;
         let norms = &self.norms;
         let ncols = data.ncols();
-        let rows_slices = split_rows(out);
+        if self.host_threads == 1 {
+            with_scatter_scratch(ncols, |scratch| {
+                for (bi, &r) in other_rows.iter().enumerate() {
+                    let src = other.row(r);
+                    src.scatter(scratch);
+                    let norm_r = other_norms[r];
+                    for (j, o) in out.row_mut(bi).iter_mut().enumerate() {
+                        let dot = data.row(j).dot_dense(scratch);
+                        *o = kind.eval(dot, norm_r, norms[j]);
+                    }
+                    src.clear_scatter(scratch);
+                }
+            });
+            return;
+        }
+        let rows_slices = split_rows(out, other_rows.len());
         parallel_for_chunks(self.host_threads, other_rows.len(), |chunk| {
             let mut scratch = vec![0.0; ncols];
             for bi in chunk {
                 let r = other_rows[bi];
                 let src = other.row(r);
                 src.scatter(&mut scratch);
-                let norm_r = src.norm_sq();
+                let norm_r = other_norms[r];
                 // SAFETY: each `bi` belongs to exactly one chunk.
                 let out_row = unsafe { rows_slices.row(bi) };
                 for (j, o) in out_row.iter_mut().enumerate() {
@@ -238,12 +303,27 @@ impl RowPtrs {
     }
 }
 
-fn split_rows(m: &mut DenseMatrix) -> RowPtrs {
-    let mut v = Vec::with_capacity(m.nrows());
-    for i in 0..m.nrows() {
+fn split_rows(m: &mut DenseMatrix, nrows: usize) -> RowPtrs {
+    let mut v = Vec::with_capacity(nrows);
+    for i in 0..nrows {
         v.push(m.row_mut(i) as *mut [f64]);
     }
     RowPtrs(v)
+}
+
+/// Run `f` with a zeroed scatter scratch of at least `ncols` values,
+/// reusing a thread-local buffer so steady-state callers never allocate.
+fn with_scatter_scratch<R>(ncols: usize, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if scratch.len() < ncols {
+            scratch.resize(ncols, 0.0);
+        }
+        f(&mut scratch)
+    })
 }
 
 #[cfg(test)]

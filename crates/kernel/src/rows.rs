@@ -32,8 +32,12 @@ pub trait KernelRows {
     fn diag(&self, i: usize) -> f64;
 
     /// Make the rows for `ids` resident, computing the missing ones in one
-    /// batched launch charged to `exec`. All `ids` are guaranteed resident
-    /// until the next `ensure` call.
+    /// batched launch charged to `exec`. When `ids` fits the provider's
+    /// capacity (the normal solver regime), all of them are guaranteed
+    /// resident until the next `ensure` call. Oversized requests degrade
+    /// gracefully: they are processed in capacity-sized sub-batches, and
+    /// only the rows of the final sub-batch are guaranteed resident
+    /// afterwards.
     fn ensure(&mut self, exec: &dyn Executor, ids: &[usize]);
 
     /// Borrow a resident row.
@@ -57,6 +61,13 @@ pub struct BufferedRows {
     buffer: KernelBuffer,
     evals_base: u64,
     rows_computed: u64,
+    // Reused per-`ensure` scratch: miss lists, the pinned set, and the
+    // batched-launch output block. Once grown to working-set size, the
+    // steady-state ensure path performs no heap allocation.
+    missing: Vec<u32>,
+    pinned: Vec<u32>,
+    miss_ids: Vec<usize>,
+    block: DenseMatrix,
 }
 
 impl BufferedRows {
@@ -76,6 +87,10 @@ impl BufferedRows {
             buffer,
             evals_base,
             rows_computed: 0,
+            missing: Vec::new(),
+            pinned: Vec::new(),
+            miss_ids: Vec::new(),
+            block: DenseMatrix::zeros(0, 0),
         })
     }
 
@@ -87,6 +102,38 @@ impl BufferedRows {
     /// The buffer capacity in rows.
     pub fn capacity(&self) -> usize {
         self.buffer.capacity()
+    }
+
+    /// One capacity-bounded sub-batch of [`KernelRows::ensure`].
+    fn ensure_batch(&mut self, exec: &dyn Executor, ids: &[usize]) {
+        debug_assert!(ids.len() <= self.buffer.capacity());
+        // Classify hits/misses (counting stats through the buffer).
+        self.missing.clear();
+        for &id in ids {
+            if self.buffer.get(id as u32).is_none() {
+                self.missing.push(id as u32);
+            }
+        }
+        if self.missing.is_empty() {
+            return;
+        }
+        // Pin the whole requested set: evictions to make room must not
+        // invalidate rows the solver is about to use.
+        self.pinned.clear();
+        self.pinned.extend(ids.iter().map(|&i| i as u32));
+        self.buffer.insert_batch(&self.missing, &self.pinned);
+        // One batched launch for all missing rows (§3.3.1).
+        self.miss_ids.clear();
+        self.miss_ids
+            .extend(self.missing.iter().map(|&m| m as usize));
+        let n = self.oracle.n();
+        self.block.reset(self.miss_ids.len(), n);
+        self.oracle
+            .compute_rows(exec, &self.miss_ids, &mut self.block);
+        for (bi, &id) in self.missing.iter().enumerate() {
+            self.buffer.row_mut(id).copy_from_slice(self.block.row(bi));
+        }
+        self.rows_computed += self.missing.len() as u64;
     }
 }
 
@@ -100,34 +147,18 @@ impl KernelRows for BufferedRows {
     }
 
     fn ensure(&mut self, exec: &dyn Executor, ids: &[usize]) {
-        assert!(
-            ids.len() <= self.buffer.capacity(),
-            "working set of {} exceeds buffer capacity {}",
-            ids.len(),
-            self.buffer.capacity()
-        );
-        // Classify hits/misses (counting stats through the buffer).
-        let mut missing: Vec<u32> = Vec::new();
-        for &id in ids {
-            if self.buffer.get(id as u32).is_none() {
-                missing.push(id as u32);
-            }
-        }
-        if missing.is_empty() {
+        let cap = self.buffer.capacity();
+        if ids.len() <= cap {
+            self.ensure_batch(exec, ids);
             return;
         }
-        // Pin the whole requested set: evictions to make room must not
-        // invalidate rows the solver is about to use.
-        let pinned: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
-        self.buffer.insert_batch(&missing, &pinned);
-        // One batched launch for all missing rows (§3.3.1).
-        let miss_ids: Vec<usize> = missing.iter().map(|&m| m as usize).collect();
-        let mut block = DenseMatrix::zeros(miss_ids.len(), self.n());
-        self.oracle.compute_rows(exec, &miss_ids, &mut block);
-        for (bi, &id) in missing.iter().enumerate() {
-            self.buffer.row_mut(id).copy_from_slice(block.row(bi));
+        // Graceful degradation (working set wider than the buffer): split
+        // into capacity-sized sub-batches. Each sub-batch pins only itself,
+        // so later sub-batches may evict earlier ones — callers needing
+        // simultaneous residency must request at most `capacity` rows.
+        for chunk in ids.chunks(cap) {
+            self.ensure_batch(exec, chunk);
         }
-        self.rows_computed += missing.len() as u64;
     }
 
     fn row(&self, id: usize) -> &[f64] {
@@ -151,6 +182,8 @@ impl KernelRows for BufferedRows {
 }
 
 #[cfg(test)]
+// Tests index several parallel arrays (y, alpha, f) by position.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::functions::KernelKind;
@@ -240,11 +273,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds buffer capacity")]
-    fn oversized_working_set_panics() {
+    fn oversized_working_set_degrades_to_sub_batches() {
         let mut p = provider(2);
         let e = exec();
         p.ensure(&e, &[0, 1, 2]);
+        // The final sub-batch ([2]) is guaranteed resident.
+        assert!(p.is_resident(2));
+        let row = p.row(2);
+        for j in 0..5 {
+            let direct = p.oracle().eval_pair(2, j);
+            assert!((row[j] - direct).abs() < 1e-12);
+        }
+        // Every requested row was computed exactly once.
+        assert_eq!(p.stats().rows_computed, 3);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn couple_gaussian(r: &PairwiseProbs) -> Vec<f64> {
     let k = r.k();
     let mut q = r.build_q();
     let mut x = vec![1.0f64; k]; // e
-    // Try plain elimination; on a vanishing pivot, ridge and retry.
+                                 // Try plain elimination; on a vanishing pivot, ridge and retry.
     for ridge in [0.0, 1e-10, 1e-8, 1e-6] {
         let mut a = q.clone();
         if ridge > 0.0 {
@@ -160,16 +160,15 @@ pub fn couple_iterative(r: &PairwiseProbs) -> Vec<f64> {
             qp[t] = (0..k).map(|j| q[t * k + j] * p[j]).sum();
             pqp += p[t] * qp[t];
         }
-        let max_err = (0..k)
-            .map(|t| (qp[t] - pqp).abs())
-            .fold(0.0f64, f64::max);
+        let max_err = (0..k).map(|t| (qp[t] - pqp).abs()).fold(0.0f64, f64::max);
         if max_err < eps {
             break;
         }
         for t in 0..k {
             let diff = (-qp[t] + pqp) / q[t * k + t];
             p[t] += diff;
-            pqp = (pqp + diff * (diff * q[t * k + t] + 2.0 * qp[t])) / ((1.0 + diff) * (1.0 + diff));
+            pqp =
+                (pqp + diff * (diff * q[t * k + t] + 2.0 * qp[t])) / ((1.0 + diff) * (1.0 + diff));
             for j in 0..k {
                 qp[j] = (qp[j] + diff * q[t * k + j]) / (1.0 + diff);
                 p[j] /= 1.0 + diff;
@@ -256,7 +255,10 @@ mod tests {
                 }
                 q[i] += eps;
                 q[j] -= eps;
-                assert!(obj(&q) >= base - 1e-12, "perturbation ({i},{j}) improves objective");
+                assert!(
+                    obj(&q) >= base - 1e-12,
+                    "perturbation ({i},{j}) improves objective"
+                );
             }
         }
     }

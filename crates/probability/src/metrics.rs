@@ -79,16 +79,17 @@ pub fn calibration(probabilities: &[Vec<f64>], labels: &[u32], n_bins: usize) ->
     let mut conf_sums = vec![0.0f64; n_bins];
     let mut correct = vec![0usize; n_bins];
     for (p, &y) in probabilities.iter().zip(labels) {
-        let (top, conf) = p
-            .iter()
-            .enumerate()
-            .fold((0usize, 0.0f64), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (top, conf) =
+            p.iter().enumerate().fold(
+                (0usize, 0.0f64),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            );
         let bin = ((conf * n_bins as f64) as usize).min(n_bins - 1);
         counts[bin] += 1;
         conf_sums[bin] += conf;

@@ -39,8 +39,14 @@ pub fn sigmoid_predict(decision_value: f64, params: &SigmoidParams) -> f64 {
 /// Panics if the slices differ in length, are empty, or labels are not ±1.
 pub fn sigmoid_train(decision_values: &[f64], labels: &[f64]) -> SigmoidParams {
     assert_eq!(decision_values.len(), labels.len(), "length mismatch");
-    assert!(!decision_values.is_empty(), "cannot fit a sigmoid to nothing");
-    assert!(labels.iter().all(|&y| y == 1.0 || y == -1.0), "labels must be ±1");
+    assert!(
+        !decision_values.is_empty(),
+        "cannot fit a sigmoid to nothing"
+    );
+    assert!(
+        labels.iter().all(|&y| y == 1.0 || y == -1.0),
+        "labels must be ±1"
+    );
 
     let n = decision_values.len();
     let prior1 = labels.iter().filter(|&&y| y > 0.0).count() as f64;
@@ -143,7 +149,9 @@ mod tests {
 
     /// Deterministic pseudo-random f64 in [0,1).
     fn rng01(seed: &mut u64) -> f64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
@@ -193,7 +201,15 @@ mod tests {
     fn perfectly_separated_data() {
         // All positives at v>0, negatives at v<0: optimizer must not blow up
         // (targets are smoothed, so the likelihood has a finite optimum).
-        let dec: Vec<f64> = (0..100).map(|i| if i < 50 { -1.0 - (i as f64) * 0.01 } else { 1.0 + (i as f64) * 0.01 }).collect();
+        let dec: Vec<f64> = (0..100)
+            .map(|i| {
+                if i < 50 {
+                    -1.0 - (i as f64) * 0.01
+                } else {
+                    1.0 + (i as f64) * 0.01
+                }
+            })
+            .collect();
         let lab: Vec<f64> = (0..100).map(|i| if i < 50 { -1.0 } else { 1.0 }).collect();
         let p = sigmoid_train(&dec, &lab);
         assert!(p.a < 0.0);
@@ -226,7 +242,11 @@ mod tests {
 
     #[test]
     fn predict_extreme_values_no_nan() {
-        let p = SigmoidParams { a: -3.0, b: 1.0, iterations: 1 };
+        let p = SigmoidParams {
+            a: -3.0,
+            b: 1.0,
+            iterations: 1,
+        };
         assert_eq!(sigmoid_predict(1e308, &p), 1.0);
         assert_eq!(sigmoid_predict(-1e308, &p), 0.0);
     }

@@ -144,10 +144,16 @@ impl BatchedSmoSolver {
         assert_eq!(caps.len(), n, "cap/instance count mismatch");
         assert_eq!(f_init.len(), n, "f_init/instance count mismatch");
         assert_eq!(alpha0.len(), n, "alpha0/instance count mismatch");
-        assert!(y.iter().all(|&v| v == 1.0 || v == -1.0), "labels must be ±1");
+        assert!(
+            y.iter().all(|&v| v == 1.0 || v == -1.0),
+            "labels must be ±1"
+        );
         assert!(caps.iter().all(|&c| c > 0.0), "caps must be positive");
         assert!(
-            alpha0.iter().zip(caps).all(|(&a, &c)| (0.0..=c).contains(&a)),
+            alpha0
+                .iter()
+                .zip(caps)
+                .all(|(&a, &c)| (0.0..=c).contains(&a)),
             "alpha0 violates the box"
         );
         let params = self.params.clamped_for(n);
@@ -260,8 +266,7 @@ impl BatchedSmoSolver {
                 eps.max(params.inner_relax * delta0)
             };
             let mut changed = false;
-            let mut alpha_before: Vec<(usize, f64)> =
-                ws.iter().map(|&i| (i, alpha[i])).collect();
+            let mut alpha_before: Vec<(usize, f64)> = ws.iter().map(|&i| (i, alpha[i])).collect();
             let mut inner_iters_this_round = 0u64;
             for _ in 0..params.max_inner {
                 let mut u = usize::MAX;
@@ -391,6 +396,8 @@ impl BatchedSmoSolver {
 }
 
 #[cfg(test)]
+// Tests index several parallel arrays (y, alpha, f) by position.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::classic::ClassicSmoSolver;
@@ -401,6 +408,18 @@ mod tests {
 
     fn exec() -> CpuExecutor {
         CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+    }
+
+    /// The trainer moves solvers and their results across wave threads;
+    /// these bounds are part of the crate's contract, not an accident.
+    #[test]
+    fn solver_state_crosses_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatchedSmoSolver>();
+        assert_send_sync::<BatchedParams>();
+        assert_send_sync::<ClassicSmoSolver>();
+        assert_send_sync::<crate::common::SolverResult>();
+        assert_send_sync::<crate::common::SolverTelemetry>();
     }
 
     fn make_rows(data: &[Vec<f64>], ncols: usize, kind: KernelKind, cap: usize) -> BufferedRows {
@@ -531,7 +550,8 @@ mod tests {
         let kind = KernelKind::Rbf { gamma: 2.0 };
 
         let mut rows_c = make_rows(&x, 2, kind, 2); // classic: effectively no cache
-        let classic = ClassicSmoSolver::new(SmoParams::with_c(10.0)).solve(&y, &mut rows_c, &exec());
+        let classic =
+            ClassicSmoSolver::new(SmoParams::with_c(10.0)).solve(&y, &mut rows_c, &exec());
 
         let mut rows_b = make_rows(&x, 2, kind, 64);
         let mut bp = batched_params(64, 32);

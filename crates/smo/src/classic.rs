@@ -69,7 +69,10 @@ impl ClassicSmoSolver {
         assert_eq!(y.len(), n, "label/instance count mismatch");
         assert_eq!(caps.len(), n, "cap/instance count mismatch");
         assert_eq!(f_init.len(), n, "f_init/instance count mismatch");
-        assert!(y.iter().all(|&v| v == 1.0 || v == -1.0), "labels must be ±1");
+        assert!(
+            y.iter().all(|&v| v == 1.0 || v == -1.0),
+            "labels must be ±1"
+        );
         assert!(caps.iter().all(|&c| c > 0.0), "caps must be positive");
         let eps = self.params.eps;
 
@@ -86,7 +89,7 @@ impl ClassicSmoSolver {
         // are reconstructed before convergence is declared.
         let mut active = vec![true; n];
         let mut n_shrunk = 0usize;
-        let shrink_interval = n.min(1000).max(1) as u64;
+        let shrink_interval = n.clamp(1, 1000) as u64;
         let mut next_shrink = shrink_interval;
 
         loop {
@@ -94,8 +97,7 @@ impl ClassicSmoSolver {
             let t0 = Instant::now();
             let s0 = exec.elapsed();
             let u_ext = argmin_masked(exec, &f, |i| active[i] && in_upper(y[i], alpha[i], caps[i]));
-            let f_max =
-                argmax_masked(exec, &f, |i| active[i] && in_lower(y[i], alpha[i], caps[i]));
+            let f_max = argmax_masked(exec, &f, |i| active[i] && in_lower(y[i], alpha[i], caps[i]));
             let locally_done = match (&u_ext, &f_max) {
                 (Some(u), Some(m)) => m.value - u.value < eps,
                 _ => true,
@@ -284,6 +286,8 @@ impl ClassicSmoSolver {
 }
 
 #[cfg(test)]
+// Tests index several parallel arrays (y, alpha, f) by position.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use gmp_gpusim::{CpuExecutor, HostConfig};
@@ -327,7 +331,11 @@ mod tests {
         }
         // Margin SVs are the inner points.
         assert!(r.alpha[1] > 0.0 && r.alpha[2] > 0.0);
-        assert!((r.rho).abs() < 1e-6, "symmetric problem has rho ~ 0, got {}", r.rho);
+        assert!(
+            (r.rho).abs() < 1e-6,
+            "symmetric problem has rho ~ 0, got {}",
+            r.rho
+        );
     }
 
     #[test]
@@ -391,12 +399,22 @@ mod tests {
         // Overlapping classes: larger C penalizes slack more, objective
         // (minimized form) is monotone non-increasing in feasible region
         // size; just sanity check the solver returns finite values.
-        let x = vec![vec![-1.0], vec![-0.4], vec![0.4], vec![1.0], vec![-0.1], vec![0.1]];
+        let x = vec![
+            vec![-1.0],
+            vec![-0.4],
+            vec![0.4],
+            vec![1.0],
+            vec![-0.1],
+            vec![0.1],
+        ];
         let y = vec![-1.0, -1.0, 1.0, 1.0, 1.0, -1.0];
         let mut rows = rows_for(&x, 1, KernelKind::Rbf { gamma: 1.0 }, 6);
         let r = ClassicSmoSolver::new(SmoParams::with_c(1.0)).solve(&y, &mut rows, &exec());
         assert!(r.objective.is_finite());
-        assert!(r.objective < 0.0, "non-trivial problem has negative min-form objective");
+        assert!(
+            r.objective < 0.0,
+            "non-trivial problem has negative min-form objective"
+        );
     }
 
     #[test]
@@ -436,7 +454,9 @@ mod tests {
                 vec![side * (0.4 + 0.4 * jitter), t]
             })
             .collect();
-        let y: Vec<f64> = (0..120).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let y: Vec<f64> = (0..120)
+            .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let kind = KernelKind::Rbf { gamma: 1.5 };
         let base = SmoParams::with_c(5.0);
         let shrunk_params = SmoParams {
@@ -457,7 +477,12 @@ mod tests {
         assert!((a.rho - b.rho).abs() < 1e-6, "rho {} vs {}", a.rho, b.rho);
         // Final indicators are reconstructed: consistent within tolerance.
         for i in 0..y.len() {
-            assert!((a.f[i] - b.f[i]).abs() < 1e-6, "f[{i}] {} vs {}", a.f[i], b.f[i]);
+            assert!(
+                (a.f[i] - b.f[i]).abs() < 1e-6,
+                "f[{i}] {} vs {}",
+                a.f[i],
+                b.f[i]
+            );
         }
     }
 
@@ -471,7 +496,9 @@ mod tests {
                 vec![jitter, ((i * 7919) % 83) as f64 / 83.0]
             })
             .collect();
-        let y: Vec<f64> = (0..100).map(|i| if (i / 3) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if (i / 3) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let p = SmoParams {
             c: 0.5,
             shrinking: true,

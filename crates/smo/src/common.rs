@@ -208,13 +208,24 @@ pub fn compute_objective(y: &[f64], alpha: &[f64], f: &[f64]) -> f64 {
 /// Perform the SMO pair update with box clipping and return the step λ
 /// (the change of `y_u α_u`, which equals the decrease of `y_l α_l`).
 #[inline]
-pub fn pair_update(y: &[f64], alpha: &mut [f64], c: f64, u: usize, l: usize, f_u: f64, f_l: f64, eta: f64) -> f64 {
+#[allow(clippy::too_many_arguments)]
+pub fn pair_update(
+    y: &[f64],
+    alpha: &mut [f64],
+    c: f64,
+    u: usize,
+    l: usize,
+    f_u: f64,
+    f_l: f64,
+    eta: f64,
+) -> f64 {
     pair_update_capped(y, alpha, c, c, u, l, f_u, f_l, eta)
 }
 
 /// [`pair_update`] with per-instance box caps (weighted classes: LibSVM's
 /// `-wi` makes `C_i = C · w_{y_i}`).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn pair_update_capped(
     y: &[f64],
     alpha: &mut [f64],
@@ -335,7 +346,11 @@ mod tests {
 
     #[test]
     fn phase_add() {
-        let p = PhaseTimes { kernel_s: 1.0, subproblem_s: 2.0, other_s: 3.0 };
+        let p = PhaseTimes {
+            kernel_s: 1.0,
+            subproblem_s: 2.0,
+            other_s: 3.0,
+        };
         let q = p.add(&p);
         assert_eq!(q.total(), 12.0);
     }

@@ -41,11 +41,7 @@ pub fn decision_values_for(
     let mut kmat = DenseMatrix::zeros(m, n);
     oracle.compute_cross(exec, test, &test_rows, &mut kmat);
     // Weighted reduction per test instance.
-    exec.charge(KernelCost::map(
-        (m * n) as u64,
-        2,
-        16,
-    ));
+    exec.charge(KernelCost::map((m * n) as u64, 2, 16));
     (0..m)
         .map(|t| {
             let row = kmat.row(t);
@@ -89,7 +85,10 @@ mod tests {
             1,
         ));
         let y = vec![-1.0, -1.0, 1.0, 1.0];
-        let oracle = Arc::new(KernelOracle::new(data.clone(), KernelKind::Rbf { gamma: 1.0 }));
+        let oracle = Arc::new(KernelOracle::new(
+            data.clone(),
+            KernelKind::Rbf { gamma: 1.0 },
+        ));
         // Train a tiny SVM first.
         let mut rows = gmp_kernel::BufferedRows::new(
             oracle.clone(),

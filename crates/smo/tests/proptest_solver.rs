@@ -1,7 +1,8 @@
 //! Property-based tests: solver invariants that must hold on *any* input.
+#![allow(clippy::needless_range_loop)] // parallel-array indexing
 
 use gmp_gpusim::{CpuExecutor, HostConfig};
-use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, KernelRows, ReplacementPolicy};
+use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_smo::common::{in_lower, in_upper};
 use gmp_smo::{BatchedParams, BatchedSmoSolver, ClassicSmoSolver, SmoParams, SolverResult};
 use gmp_sparse::CsrMatrix;
@@ -17,10 +18,7 @@ fn exec() -> CpuExecutor {
 fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
     (4usize..24).prop_flat_map(|n| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-1.0..1.0f64, 2),
-                n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, 2), n),
             proptest::collection::vec(proptest::bool::ANY, n),
         )
             .prop_map(|(x, flags)| {

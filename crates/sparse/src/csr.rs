@@ -393,8 +393,14 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap()
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -452,7 +458,14 @@ mod tests {
 
     #[test]
     fn from_dense_drops_zeros() {
-        let m = CsrMatrix::from_dense(&[vec![1.0, 0.0, 2.0], vec![0.0, 0.0, 0.0], vec![3.0, 4.0, 0.0]], 3);
+        let m = CsrMatrix::from_dense(
+            &[
+                vec![1.0, 0.0, 2.0],
+                vec![0.0, 0.0, 0.0],
+                vec![3.0, 4.0, 0.0],
+            ],
+            3,
+        );
         assert_eq!(m, sample());
     }
 

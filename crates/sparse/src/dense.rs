@@ -71,6 +71,17 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Reshape in place to `nrows x ncols`, zero-filled, reusing the
+    /// backing allocation when it is large enough. This is the hot-path
+    /// primitive behind allocation-free row scratch buffers: once grown to
+    /// its steady-state shape, `reset` never touches the allocator.
+    pub fn reset(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.clear();
+        self.data.resize(nrows * ncols, 0.0);
+    }
+
     /// Heap footprint in bytes.
     pub fn mem_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f64>()
@@ -128,5 +139,21 @@ mod tests {
     #[test]
     fn mem_bytes() {
         assert_eq!(DenseMatrix::zeros(2, 3).mem_bytes(), 48);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        m.set(3, 3, 9.0);
+        let ptr = m.as_slice().as_ptr();
+        m.reset(2, 3);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        // Shrinking reuses the same backing buffer.
+        assert_eq!(m.as_slice().as_ptr(), ptr);
+        m.reset(8, 8); // growing may reallocate, shape must still be right
+        assert_eq!((m.nrows(), m.ncols()), (8, 8));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 }

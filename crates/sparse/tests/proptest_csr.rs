@@ -1,4 +1,5 @@
 //! Property-based tests for the CSR substrate.
+#![allow(clippy::needless_range_loop)] // parallel-array indexing
 
 use gmp_sparse::{ops, CsrMatrix};
 use proptest::prelude::*;
@@ -7,10 +8,7 @@ use proptest::prelude::*;
 fn dense_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![3 => Just(0.0), 2 => -10.0..10.0f64],
-                c,
-            ),
+            proptest::collection::vec(prop_oneof![3 => Just(0.0), 2 => -10.0..10.0f64], c),
             r,
         )
     })

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release -p gmp-svm --example digit_recognition`
 
 use gmp_datasets::PaperDataset;
-use gmp_svm::{Backend, MpSvmTrainer};
 use gmp_svm::predict::error_rate;
+use gmp_svm::{Backend, MpSvmTrainer};
 
 fn main() {
     // MNIST stand-in: 10 classes, 780 features, published C=10, gamma=0.125.

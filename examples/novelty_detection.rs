@@ -9,7 +9,14 @@ use gmp_svm::{train_one_class, KernelKind, OneClassParams};
 
 fn main() {
     // "Normal" observations: one tight cluster.
-    let normal = BlobSpec { n: 300, dim: 2, classes: 2, spread: 0.12, seed: 10 }.generate();
+    let normal = BlobSpec {
+        n: 300,
+        dim: 2,
+        classes: 2,
+        spread: 0.12,
+        seed: 10,
+    }
+    .generate();
     let params = OneClassParams {
         kernel: KernelKind::Rbf { gamma: 1.5 },
         nu: 0.05,
@@ -24,7 +31,11 @@ fn main() {
         params.nu
     );
 
-    let train_inliers = model.predict_inlier(&normal.x).iter().filter(|&&b| b).count();
+    let train_inliers = model
+        .predict_inlier(&normal.x)
+        .iter()
+        .filter(|&&b| b)
+        .count();
     println!(
         "training data accepted: {}/{} ({:.1}% flagged, bounded by nu)",
         train_inliers,

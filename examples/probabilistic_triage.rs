@@ -33,7 +33,10 @@ fn main() {
         .predict(&split.test.x, &backend)
         .expect("prediction failed");
 
-    println!("confidence-thresholded triage on {} ambiguous cases:", split.test.n());
+    println!(
+        "confidence-thresholded triage on {} ambiguous cases:",
+        split.test.n()
+    );
     println!("\n| threshold | coverage | accuracy on accepted |");
     println!("|---|---|---|");
     for threshold in [0.0, 0.4, 0.5, 0.6, 0.7, 0.8] {

@@ -12,7 +12,9 @@ fn main() {
     let n = 200;
     let mut seed = 7u64;
     let mut noise = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.2
     };
     let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![6.0 * i as f64 / n as f64]).collect();

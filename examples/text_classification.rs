@@ -11,12 +11,12 @@ use gmp_svm::{Backend, MpSvmModel, MpSvmTrainer};
 fn main() {
     let split = PaperDataset::News20.generate_split(0.02);
     println!(
-        "News20 stand-in: {} train docs, {} test docs, {} topics, {} features ({}% dense)",
+        "News20 stand-in: {} train docs, {} test docs, {} topics, {} features ({:.3}% dense)",
         split.train.n(),
         split.test.n(),
         split.train.n_classes(),
         split.train.dim(),
-        format!("{:.3}", 100.0 * split.train.x.density()),
+        100.0 * split.train.x.density(),
     );
     let spec = PaperDataset::News20.spec();
     let params = gmp_svm::SvmParams::default()
@@ -39,13 +39,19 @@ fn main() {
     // Persist and reload.
     let path = std::env::temp_dir().join("news20_standin.gmpsvm");
     std::fs::write(&path, outcome.model.to_text()).expect("save model");
-    let loaded =
-        MpSvmModel::from_text(&std::fs::read_to_string(&path).expect("read model")).expect("parse model");
+    let loaded = MpSvmModel::from_text(&std::fs::read_to_string(&path).expect("read model"))
+        .expect("parse model");
     println!("model saved to {} and reloaded", path.display());
 
-    let before = outcome.model.predict(&split.test.x, &backend).expect("predict");
+    let before = outcome
+        .model
+        .predict(&split.test.x, &backend)
+        .expect("predict");
     let after = loaded.predict(&split.test.x, &backend).expect("predict");
-    assert_eq!(before.labels, after.labels, "reloaded model must predict identically");
+    assert_eq!(
+        before.labels, after.labels,
+        "reloaded model must predict identically"
+    );
     println!(
         "reloaded model verified: identical predictions, test error {:.2}%",
         100.0 * error_rate(&after.labels, &split.test.y)

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffer_policy-00f04a8ed18b9965.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/debug/deps/ablation_buffer_policy-00f04a8ed18b9965: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

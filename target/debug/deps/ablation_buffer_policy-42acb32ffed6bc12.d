@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffer_policy-42acb32ffed6bc12.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/debug/deps/ablation_buffer_policy-42acb32ffed6bc12: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_buffer_policy-a5df599a62f4daac.d: crates/bench/src/bin/ablation_buffer_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_buffer_policy-a5df599a62f4daac.rmeta: crates/bench/src/bin/ablation_buffer_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_buffer_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

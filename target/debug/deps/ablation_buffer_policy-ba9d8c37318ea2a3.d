@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_buffer_policy-ba9d8c37318ea2a3.d: crates/bench/src/bin/ablation_buffer_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_buffer_policy-ba9d8c37318ea2a3.rmeta: crates/bench/src/bin/ablation_buffer_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_buffer_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffer_policy-d907f37a227680b1.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/debug/deps/ablation_buffer_policy-d907f37a227680b1: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffer_policy-dc8f19c53d63dc4e.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/debug/deps/ablation_buffer_policy-dc8f19c53d63dc4e: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ovr_vs_ovo-0c0613485172a8c9.d: crates/bench/src/bin/ablation_ovr_vs_ovo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ovr_vs_ovo-0c0613485172a8c9.rmeta: crates/bench/src/bin/ablation_ovr_vs_ovo.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ovr_vs_ovo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

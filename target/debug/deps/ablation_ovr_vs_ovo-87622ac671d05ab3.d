@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ovr_vs_ovo-87622ac671d05ab3.d: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+/root/repo/target/debug/deps/ablation_ovr_vs_ovo-87622ac671d05ab3: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+crates/bench/src/bin/ablation_ovr_vs_ovo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ovr_vs_ovo-fb9b6d5ee0c7796c.d: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+/root/repo/target/debug/deps/ablation_ovr_vs_ovo-fb9b6d5ee0c7796c: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+crates/bench/src/bin/ablation_ovr_vs_ovo.rs:

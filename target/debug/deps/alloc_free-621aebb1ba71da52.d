@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-621aebb1ba71da52.d: crates/kernel/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-621aebb1ba71da52.rmeta: crates/kernel/tests/alloc_free.rs Cargo.toml
+
+crates/kernel/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

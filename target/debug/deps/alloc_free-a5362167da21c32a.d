@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-a5362167da21c32a.d: crates/kernel/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-a5362167da21c32a: crates/kernel/tests/alloc_free.rs
+
+crates/kernel/tests/alloc_free.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_buffer-0d3b89582148f60c.d: crates/bench/benches/bench_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_buffer-0d3b89582148f60c.rmeta: crates/bench/benches/bench_buffer.rs Cargo.toml
+
+crates/bench/benches/bench_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_buffer-4713f81b0d223efc.d: crates/bench/benches/bench_buffer.rs
+
+/root/repo/target/debug/deps/bench_buffer-4713f81b0d223efc: crates/bench/benches/bench_buffer.rs
+
+crates/bench/benches/bench_buffer.rs:

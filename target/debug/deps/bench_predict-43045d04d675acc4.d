@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_predict-43045d04d675acc4.d: crates/bench/benches/bench_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_predict-43045d04d675acc4.rmeta: crates/bench/benches/bench_predict.rs Cargo.toml
+
+crates/bench/benches/bench_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_predict-9c6b6662b1594cba.d: crates/bench/benches/bench_predict.rs
+
+/root/repo/target/debug/deps/bench_predict-9c6b6662b1594cba: crates/bench/benches/bench_predict.rs
+
+crates/bench/benches/bench_predict.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_q-38d26f8181698e5d.d: crates/bench/benches/bench_q.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_q-38d26f8181698e5d.rmeta: crates/bench/benches/bench_q.rs Cargo.toml
+
+crates/bench/benches/bench_q.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_q-ffbcf3395caf8e91.d: crates/bench/benches/bench_q.rs
+
+/root/repo/target/debug/deps/bench_q-ffbcf3395caf8e91: crates/bench/benches/bench_q.rs
+
+crates/bench/benches/bench_q.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_rowbatch-187ae93f35854bba.d: crates/bench/benches/bench_rowbatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_rowbatch-187ae93f35854bba.rmeta: crates/bench/benches/bench_rowbatch.rs Cargo.toml
+
+crates/bench/benches/bench_rowbatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

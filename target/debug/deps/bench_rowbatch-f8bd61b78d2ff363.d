@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_rowbatch-f8bd61b78d2ff363.d: crates/bench/benches/bench_rowbatch.rs
+
+/root/repo/target/debug/deps/bench_rowbatch-f8bd61b78d2ff363: crates/bench/benches/bench_rowbatch.rs
+
+crates/bench/benches/bench_rowbatch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_train-4e19a415306c7ac6.d: crates/bench/benches/bench_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_train-4e19a415306c7ac6.rmeta: crates/bench/benches/bench_train.rs Cargo.toml
+
+crates/bench/benches/bench_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_train-a266854a330ee930.d: crates/bench/benches/bench_train.rs
+
+/root/repo/target/debug/deps/bench_train-a266854a330ee930: crates/bench/benches/bench_train.rs
+
+crates/bench/benches/bench_train.rs:

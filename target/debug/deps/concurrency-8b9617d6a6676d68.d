@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-8b9617d6a6676d68.d: crates/core/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-8b9617d6a6676d68: crates/core/tests/concurrency.rs
+
+crates/core/tests/concurrency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-2eb1f8f49130386c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2eb1f8f49130386c.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2eb1f8f49130386c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

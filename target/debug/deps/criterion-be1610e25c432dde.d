@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-be1610e25c432dde.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-be1610e25c432dde.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-be1610e25c432dde.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

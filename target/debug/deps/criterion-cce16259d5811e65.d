@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-cce16259d5811e65.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-cce16259d5811e65: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

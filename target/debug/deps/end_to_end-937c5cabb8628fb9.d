@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-937c5cabb8628fb9.d: crates/integration/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-937c5cabb8628fb9: crates/integration/../../tests/end_to_end.rs
+
+crates/integration/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-75013f6c7df19331.d: crates/integration/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-75013f6c7df19331.rmeta: crates/integration/../../tests/extensions.rs Cargo.toml
+
+crates/integration/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

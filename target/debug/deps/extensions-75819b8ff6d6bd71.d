@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-75819b8ff6d6bd71.d: crates/integration/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-75819b8ff6d6bd71: crates/integration/../../tests/extensions.rs
+
+crates/integration/../../tests/extensions.rs:

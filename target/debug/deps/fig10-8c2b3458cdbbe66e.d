@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-8c2b3458cdbbe66e.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-8c2b3458cdbbe66e: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

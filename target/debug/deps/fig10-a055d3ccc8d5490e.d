@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-a055d3ccc8d5490e.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-a055d3ccc8d5490e: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-d0d7e54aaa06b4a8.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-d0d7e54aaa06b4a8: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-d69dfb584b1f0f4b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-d69dfb584b1f0f4b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_12-0191598f0ad422ca.d: crates/bench/src/bin/fig11_12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_12-0191598f0ad422ca.rmeta: crates/bench/src/bin/fig11_12.rs Cargo.toml
+
+crates/bench/src/bin/fig11_12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12-19875a9bbdf2f93e.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/debug/deps/fig11_12-19875a9bbdf2f93e: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

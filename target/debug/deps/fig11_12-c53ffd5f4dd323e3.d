@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12-c53ffd5f4dd323e3.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/debug/deps/fig11_12-c53ffd5f4dd323e3: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

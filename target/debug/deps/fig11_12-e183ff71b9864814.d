@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12-e183ff71b9864814.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/debug/deps/fig11_12-e183ff71b9864814: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

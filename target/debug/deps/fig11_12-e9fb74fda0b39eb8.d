@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12-e9fb74fda0b39eb8.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/debug/deps/fig11_12-e9fb74fda0b39eb8: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

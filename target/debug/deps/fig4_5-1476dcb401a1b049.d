@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_5-1476dcb401a1b049.d: crates/bench/src/bin/fig4_5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_5-1476dcb401a1b049.rmeta: crates/bench/src/bin/fig4_5.rs Cargo.toml
+
+crates/bench/src/bin/fig4_5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_5-27448281e2b1db0a.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/debug/deps/fig4_5-27448281e2b1db0a: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_5-9a0be7f9501cb308.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/debug/deps/fig4_5-9a0be7f9501cb308: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

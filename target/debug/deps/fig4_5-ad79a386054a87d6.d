@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_5-ad79a386054a87d6.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/debug/deps/fig4_5-ad79a386054a87d6: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

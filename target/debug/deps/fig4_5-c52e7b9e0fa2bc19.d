@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_5-c52e7b9e0fa2bc19.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/debug/deps/fig4_5-c52e7b9e0fa2bc19: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

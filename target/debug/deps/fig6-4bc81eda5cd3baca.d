@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4bc81eda5cd3baca.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4bc81eda5cd3baca: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4e2884563da67953.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4e2884563da67953: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-58e3332e21c9862c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-58e3332e21c9862c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b2715de8c7cb7a75.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b2715de8c7cb7a75: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

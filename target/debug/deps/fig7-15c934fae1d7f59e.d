@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-15c934fae1d7f59e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-15c934fae1d7f59e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

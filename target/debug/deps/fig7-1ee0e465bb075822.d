@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1ee0e465bb075822.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-1ee0e465bb075822: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

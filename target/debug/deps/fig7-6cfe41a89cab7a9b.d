@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6cfe41a89cab7a9b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-6cfe41a89cab7a9b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-ff39a946825eb067.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-ff39a946825eb067: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-08180e50ffc9a126.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-08180e50ffc9a126: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-10734c75b5eae9e1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-10734c75b5eae9e1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2e0174367240aa46.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2e0174367240aa46: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

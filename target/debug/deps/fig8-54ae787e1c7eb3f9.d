@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-54ae787e1c7eb3f9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-54ae787e1c7eb3f9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

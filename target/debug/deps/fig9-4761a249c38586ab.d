@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-4761a249c38586ab.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-4761a249c38586ab: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-5c10ff70b0bd4493.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-5c10ff70b0bd4493.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b296e6d297967458.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b296e6d297967458: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-cf3f5992380da718.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-cf3f5992380da718: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f050b84838d200b9.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f050b84838d200b9: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_hardware-2f6ecf4c0075ef46.d: crates/bench/src/bin/future_hardware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_hardware-2f6ecf4c0075ef46.rmeta: crates/bench/src/bin/future_hardware.rs Cargo.toml
+
+crates/bench/src/bin/future_hardware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hardware-4082639944aa910f.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/debug/deps/future_hardware-4082639944aa910f: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hardware-447bc6a97a71459d.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/debug/deps/future_hardware-447bc6a97a71459d: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hardware-53fc7e4bca8e5f80.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/debug/deps/future_hardware-53fc7e4bca8e5f80: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

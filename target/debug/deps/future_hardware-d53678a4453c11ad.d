@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_hardware-d53678a4453c11ad.d: crates/bench/src/bin/future_hardware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_hardware-d53678a4453c11ad.rmeta: crates/bench/src/bin/future_hardware.rs Cargo.toml
+
+crates/bench/src/bin/future_hardware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

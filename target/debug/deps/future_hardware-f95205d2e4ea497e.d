@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_hardware-f95205d2e4ea497e.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/debug/deps/future_hardware-f95205d2e4ea497e: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

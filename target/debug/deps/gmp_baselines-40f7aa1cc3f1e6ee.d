@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_baselines-40f7aa1cc3f1e6ee.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/libgmp_baselines-40f7aa1cc3f1e6ee.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/libgmp_baselines-40f7aa1cc3f1e6ee.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:

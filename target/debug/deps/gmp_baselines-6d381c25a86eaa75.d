@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gmp_baselines-6d381c25a86eaa75.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_baselines-6d381c25a86eaa75.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_baselines-9bafd343624dd2fd.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/gmp_baselines-9bafd343624dd2fd: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_baselines-acb3a3111a3847b8.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/libgmp_baselines-acb3a3111a3847b8.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/libgmp_baselines-acb3a3111a3847b8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:

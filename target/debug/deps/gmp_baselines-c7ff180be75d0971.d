@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_baselines-c7ff180be75d0971.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/libgmp_baselines-c7ff180be75d0971.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/debug/deps/libgmp_baselines-c7ff180be75d0971.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_bench-02a458a9a39dbde5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gmp_bench-02a458a9a39dbde5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

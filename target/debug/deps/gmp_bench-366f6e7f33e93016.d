@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_bench-366f6e7f33e93016.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_bench-366f6e7f33e93016.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

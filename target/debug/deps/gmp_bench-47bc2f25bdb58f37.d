@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_bench-47bc2f25bdb58f37.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gmp_bench-47bc2f25bdb58f37: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_bench-6815766347b370ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_bench-6815766347b370ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_bench-6815766347b370ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

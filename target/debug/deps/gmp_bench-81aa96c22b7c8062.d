@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_bench-81aa96c22b7c8062.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_bench-81aa96c22b7c8062.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_bench-81aa96c22b7c8062.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_bench-b20f3011b394c856.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_bench-b20f3011b394c856.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_bench-e72c7b3f467440f1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_bench-e72c7b3f467440f1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_bench-e72c7b3f467440f1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

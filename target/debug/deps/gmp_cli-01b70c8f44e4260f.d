@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_cli-01b70c8f44e4260f.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_cli-01b70c8f44e4260f.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

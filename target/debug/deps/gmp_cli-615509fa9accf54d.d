@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_cli-615509fa9accf54d.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/gmp_cli-615509fa9accf54d: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

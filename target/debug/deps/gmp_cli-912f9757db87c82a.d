@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_cli-912f9757db87c82a.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_cli-912f9757db87c82a.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_cli-912f9757db87c82a.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_cli-fe5aa1cd861b3eb1.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_cli-fe5aa1cd861b3eb1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_cli-fe5aa1cd861b3eb1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

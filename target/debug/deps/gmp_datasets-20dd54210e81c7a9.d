@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmp_datasets-20dd54210e81c7a9.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/gmp_datasets-20dd54210e81c7a9: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/libsvm_format.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_datasets-23dc068ef8267a87.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libgmp_datasets-23dc068ef8267a87.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libgmp_datasets-23dc068ef8267a87.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/libsvm_format.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_datasets-30c96e44062c7493.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libgmp_datasets-30c96e44062c7493.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libgmp_datasets-30c96e44062c7493.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/libsvm_format.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_datasets-41ed829e44bb6d6a.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libgmp_datasets-41ed829e44bb6d6a.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libgmp_datasets-41ed829e44bb6d6a.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/libsvm_format.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/synth.rs:

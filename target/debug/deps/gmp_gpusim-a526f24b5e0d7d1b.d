@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gmp_gpusim-a526f24b5e0d7d1b.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgmp_gpusim-a526f24b5e0d7d1b.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgmp_gpusim-a526f24b5e0d7d1b.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/pool.rs:
+crates/gpu-sim/src/reduce.rs:
+crates/gpu-sim/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gmp_gpusim-be4f2345d61d3900.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_gpusim-be4f2345d61d3900.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/pool.rs:
+crates/gpu-sim/src/reduce.rs:
+crates/gpu-sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_gpusim-f3a88f13b35dd39a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/debug/deps/gmp_gpusim-f3a88f13b35dd39a: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/pool.rs:
+crates/gpu-sim/src/reduce.rs:
+crates/gpu-sim/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_integration-0d933ca954d9d6a1.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_integration-0d933ca954d9d6a1.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_integration-238486f6549c244b.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_integration-238486f6549c244b.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_integration-238486f6549c244b.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

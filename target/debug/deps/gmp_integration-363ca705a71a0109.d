@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_integration-363ca705a71a0109.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/gmp_integration-363ca705a71a0109: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

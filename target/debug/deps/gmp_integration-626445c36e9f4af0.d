@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmp_integration-626445c36e9f4af0.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_integration-626445c36e9f4af0.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libgmp_integration-626445c36e9f4af0.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_integration-c8e95a8c83c25624.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_integration-c8e95a8c83c25624.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

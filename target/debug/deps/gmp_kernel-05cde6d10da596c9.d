@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_kernel-05cde6d10da596c9.d: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+/root/repo/target/debug/deps/libgmp_kernel-05cde6d10da596c9.rlib: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+/root/repo/target/debug/deps/libgmp_kernel-05cde6d10da596c9.rmeta: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/buffer.rs:
+crates/kernel/src/functions.rs:
+crates/kernel/src/oracle.rs:
+crates/kernel/src/rows.rs:
+crates/kernel/src/shared.rs:

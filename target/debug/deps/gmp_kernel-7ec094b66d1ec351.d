@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmp_kernel-7ec094b66d1ec351.d: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+/root/repo/target/debug/deps/gmp_kernel-7ec094b66d1ec351: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/buffer.rs:
+crates/kernel/src/functions.rs:
+crates/kernel/src/oracle.rs:
+crates/kernel/src/rows.rs:
+crates/kernel/src/shared.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gmp_kernel-fd9f2a4d10b464a6.d: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_kernel-fd9f2a4d10b464a6.rmeta: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/buffer.rs:
+crates/kernel/src/functions.rs:
+crates/kernel/src/oracle.rs:
+crates/kernel/src/rows.rs:
+crates/kernel/src/shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_predict-02aaae793573c942.d: crates/cli/src/bin/gmp_predict.rs
+
+/root/repo/target/debug/deps/gmp_predict-02aaae793573c942: crates/cli/src/bin/gmp_predict.rs
+
+crates/cli/src/bin/gmp_predict.rs:

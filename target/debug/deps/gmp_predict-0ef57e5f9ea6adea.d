@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_predict-0ef57e5f9ea6adea.d: crates/cli/src/bin/gmp_predict.rs
+
+/root/repo/target/debug/deps/gmp_predict-0ef57e5f9ea6adea: crates/cli/src/bin/gmp_predict.rs
+
+crates/cli/src/bin/gmp_predict.rs:

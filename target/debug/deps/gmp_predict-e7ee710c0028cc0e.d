@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_predict-e7ee710c0028cc0e.d: crates/cli/src/bin/gmp_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_predict-e7ee710c0028cc0e.rmeta: crates/cli/src/bin/gmp_predict.rs Cargo.toml
+
+crates/cli/src/bin/gmp_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmp_prob-44f60600ada459ef.d: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/debug/deps/libgmp_prob-44f60600ada459ef.rlib: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/debug/deps/libgmp_prob-44f60600ada459ef.rmeta: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+crates/probability/src/lib.rs:
+crates/probability/src/coupling.rs:
+crates/probability/src/metrics.rs:
+crates/probability/src/platt.rs:

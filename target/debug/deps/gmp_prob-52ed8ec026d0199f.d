@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmp_prob-52ed8ec026d0199f.d: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/debug/deps/libgmp_prob-52ed8ec026d0199f.rlib: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/debug/deps/libgmp_prob-52ed8ec026d0199f.rmeta: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+crates/probability/src/lib.rs:
+crates/probability/src/coupling.rs:
+crates/probability/src/metrics.rs:
+crates/probability/src/platt.rs:

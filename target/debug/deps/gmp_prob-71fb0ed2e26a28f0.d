@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gmp_prob-71fb0ed2e26a28f0.d: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/debug/deps/gmp_prob-71fb0ed2e26a28f0: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+crates/probability/src/lib.rs:
+crates/probability/src/coupling.rs:
+crates/probability/src/metrics.rs:
+crates/probability/src/platt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_prob-ad0305f60cae328f.d: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_prob-ad0305f60cae328f.rmeta: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs Cargo.toml
+
+crates/probability/src/lib.rs:
+crates/probability/src/coupling.rs:
+crates/probability/src/metrics.rs:
+crates/probability/src/platt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

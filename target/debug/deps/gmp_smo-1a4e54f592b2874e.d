@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gmp_smo-1a4e54f592b2874e.d: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/debug/deps/libgmp_smo-1a4e54f592b2874e.rlib: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/debug/deps/libgmp_smo-1a4e54f592b2874e.rmeta: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+crates/smo/src/lib.rs:
+crates/smo/src/batched.rs:
+crates/smo/src/classic.rs:
+crates/smo/src/common.rs:
+crates/smo/src/decision.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gmp_smo-410c7c986281b6e4.d: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/debug/deps/libgmp_smo-410c7c986281b6e4.rlib: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/debug/deps/libgmp_smo-410c7c986281b6e4.rmeta: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+crates/smo/src/lib.rs:
+crates/smo/src/batched.rs:
+crates/smo/src/classic.rs:
+crates/smo/src/common.rs:
+crates/smo/src/decision.rs:

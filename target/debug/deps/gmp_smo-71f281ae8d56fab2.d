@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_smo-71f281ae8d56fab2.d: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/debug/deps/gmp_smo-71f281ae8d56fab2: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+crates/smo/src/lib.rs:
+crates/smo/src/batched.rs:
+crates/smo/src/classic.rs:
+crates/smo/src/common.rs:
+crates/smo/src/decision.rs:

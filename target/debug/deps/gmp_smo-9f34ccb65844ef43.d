@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gmp_smo-9f34ccb65844ef43.d: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_smo-9f34ccb65844ef43.rmeta: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs Cargo.toml
+
+crates/smo/src/lib.rs:
+crates/smo/src/batched.rs:
+crates/smo/src/classic.rs:
+crates/smo/src/common.rs:
+crates/smo/src/decision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gmp_sparse-3849e1907ecd91b0.d: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/debug/deps/gmp_sparse-3849e1907ecd91b0: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ops.rs:

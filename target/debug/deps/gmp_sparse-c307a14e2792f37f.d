@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmp_sparse-c307a14e2792f37f.d: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/debug/deps/libgmp_sparse-c307a14e2792f37f.rlib: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/debug/deps/libgmp_sparse-c307a14e2792f37f.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ops.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmp_sparse-d4b105c3024922c9.d: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/debug/deps/libgmp_sparse-d4b105c3024922c9.rlib: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/debug/deps/libgmp_sparse-d4b105c3024922c9.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ops.rs:

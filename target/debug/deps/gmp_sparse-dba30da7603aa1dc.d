@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gmp_sparse-dba30da7603aa1dc.d: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_sparse-dba30da7603aa1dc.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

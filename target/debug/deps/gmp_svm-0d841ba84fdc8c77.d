@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gmp_svm-0d841ba84fdc8c77.d: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libgmp_svm-0d841ba84fdc8c77.rlib: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libgmp_svm-0d841ba84fdc8c77.rmeta: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cv.rs:
+crates/core/src/model.rs:
+crates/core/src/model_selection.rs:
+crates/core/src/oneclass.rs:
+crates/core/src/ovo.rs:
+crates/core/src/ovr.rs:
+crates/core/src/params.rs:
+crates/core/src/predict.rs:
+crates/core/src/svr.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gmp_svm-36e8f900e0113c32.d: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_svm-36e8f900e0113c32.rmeta: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cv.rs:
+crates/core/src/model.rs:
+crates/core/src/model_selection.rs:
+crates/core/src/oneclass.rs:
+crates/core/src/ovo.rs:
+crates/core/src/ovr.rs:
+crates/core/src/params.rs:
+crates/core/src/predict.rs:
+crates/core/src/svr.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

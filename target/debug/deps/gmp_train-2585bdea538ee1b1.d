@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_train-2585bdea538ee1b1.d: crates/cli/src/bin/gmp_train.rs
+
+/root/repo/target/debug/deps/gmp_train-2585bdea538ee1b1: crates/cli/src/bin/gmp_train.rs
+
+crates/cli/src/bin/gmp_train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmp_train-72eb041256bf7a13.d: crates/cli/src/bin/gmp_train.rs
+
+/root/repo/target/debug/deps/gmp_train-72eb041256bf7a13: crates/cli/src/bin/gmp_train.rs
+
+crates/cli/src/bin/gmp_train.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmp_train-81dae8ac29e207d6.d: crates/cli/src/bin/gmp_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmp_train-81dae8ac29e207d6.rmeta: crates/cli/src/bin/gmp_train.rs Cargo.toml
+
+crates/cli/src/bin/gmp_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_budget-1bfbf673cec42a71.d: crates/integration/../../tests/memory_budget.rs
+
+/root/repo/target/debug/deps/memory_budget-1bfbf673cec42a71: crates/integration/../../tests/memory_budget.rs
+
+crates/integration/../../tests/memory_budget.rs:

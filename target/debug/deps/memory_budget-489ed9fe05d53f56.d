@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_budget-489ed9fe05d53f56.d: crates/integration/../../tests/memory_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_budget-489ed9fe05d53f56.rmeta: crates/integration/../../tests/memory_budget.rs Cargo.toml
+
+crates/integration/../../tests/memory_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

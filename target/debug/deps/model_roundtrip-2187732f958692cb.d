@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_roundtrip-2187732f958692cb.d: crates/integration/../../tests/model_roundtrip.rs
+
+/root/repo/target/debug/deps/model_roundtrip-2187732f958692cb: crates/integration/../../tests/model_roundtrip.rs
+
+crates/integration/../../tests/model_roundtrip.rs:

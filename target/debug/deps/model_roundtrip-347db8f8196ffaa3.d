@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_roundtrip-347db8f8196ffaa3.d: crates/integration/../../tests/model_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_roundtrip-347db8f8196ffaa3.rmeta: crates/integration/../../tests/model_roundtrip.rs Cargo.toml
+
+crates/integration/../../tests/model_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

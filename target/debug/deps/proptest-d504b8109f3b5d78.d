@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d504b8109f3b5d78.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d504b8109f3b5d78: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e8e45323d69a4678.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e8e45323d69a4678.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e8e45323d69a4678.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_buffer-47518df60c6fd988.d: crates/kernel/tests/proptest_buffer.rs
+
+/root/repo/target/debug/deps/proptest_buffer-47518df60c6fd988: crates/kernel/tests/proptest_buffer.rs
+
+crates/kernel/tests/proptest_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_buffer-5459830c14542ec3.d: crates/kernel/tests/proptest_buffer.rs
+
+/root/repo/target/debug/deps/proptest_buffer-5459830c14542ec3: crates/kernel/tests/proptest_buffer.rs
+
+crates/kernel/tests/proptest_buffer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_buffer-ba9fce34902a6544.d: crates/kernel/tests/proptest_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_buffer-ba9fce34902a6544.rmeta: crates/kernel/tests/proptest_buffer.rs Cargo.toml
+
+crates/kernel/tests/proptest_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

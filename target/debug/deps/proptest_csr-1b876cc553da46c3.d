@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_csr-1b876cc553da46c3.d: crates/sparse/tests/proptest_csr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_csr-1b876cc553da46c3.rmeta: crates/sparse/tests/proptest_csr.rs Cargo.toml
+
+crates/sparse/tests/proptest_csr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

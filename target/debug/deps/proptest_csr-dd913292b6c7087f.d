@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_csr-dd913292b6c7087f.d: crates/sparse/tests/proptest_csr.rs
+
+/root/repo/target/debug/deps/proptest_csr-dd913292b6c7087f: crates/sparse/tests/proptest_csr.rs
+
+crates/sparse/tests/proptest_csr.rs:

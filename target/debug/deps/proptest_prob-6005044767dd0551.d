@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_prob-6005044767dd0551.d: crates/probability/tests/proptest_prob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_prob-6005044767dd0551.rmeta: crates/probability/tests/proptest_prob.rs Cargo.toml
+
+crates/probability/tests/proptest_prob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

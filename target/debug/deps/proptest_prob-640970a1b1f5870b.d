@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_prob-640970a1b1f5870b.d: crates/probability/tests/proptest_prob.rs
+
+/root/repo/target/debug/deps/proptest_prob-640970a1b1f5870b: crates/probability/tests/proptest_prob.rs
+
+crates/probability/tests/proptest_prob.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_solver-1c0043d2277336d5.d: crates/smo/tests/proptest_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_solver-1c0043d2277336d5.rmeta: crates/smo/tests/proptest_solver.rs Cargo.toml
+
+crates/smo/tests/proptest_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver-501208e6ae611a68.d: crates/smo/tests/proptest_solver.rs
+
+/root/repo/target/debug/deps/proptest_solver-501208e6ae611a68: crates/smo/tests/proptest_solver.rs
+
+crates/smo/tests/proptest_solver.rs:

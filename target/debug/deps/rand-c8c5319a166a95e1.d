@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c8c5319a166a95e1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c8c5319a166a95e1.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c8c5319a166a95e1.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d7227500359e908c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d7227500359e908c: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

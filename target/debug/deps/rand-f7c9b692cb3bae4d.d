@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f7c9b692cb3bae4d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f7c9b692cb3bae4d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f7c9b692cb3bae4d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

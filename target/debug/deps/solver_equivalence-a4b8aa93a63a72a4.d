@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_equivalence-a4b8aa93a63a72a4.d: crates/integration/../../tests/solver_equivalence.rs
+
+/root/repo/target/debug/deps/solver_equivalence-a4b8aa93a63a72a4: crates/integration/../../tests/solver_equivalence.rs
+
+crates/integration/../../tests/solver_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_equivalence-ba176d27e2bc8ce9.d: crates/integration/../../tests/solver_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_equivalence-ba176d27e2bc8ce9.rmeta: crates/integration/../../tests/solver_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/solver_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3329f50f1db3f7ad.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3329f50f1db3f7ad: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

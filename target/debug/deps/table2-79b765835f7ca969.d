@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-79b765835f7ca969.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-79b765835f7ca969: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-bab6dfce2c4948ab.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-bab6dfce2c4948ab: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

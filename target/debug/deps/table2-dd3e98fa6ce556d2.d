@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-dd3e98fa6ce556d2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-dd3e98fa6ce556d2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

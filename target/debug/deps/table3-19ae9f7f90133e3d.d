@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-19ae9f7f90133e3d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-19ae9f7f90133e3d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-41e79b65ccfa473f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-41e79b65ccfa473f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

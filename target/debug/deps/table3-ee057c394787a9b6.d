@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ee057c394787a9b6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ee057c394787a9b6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f127c412bd0f2be0.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f127c412bd0f2be0: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-19f6b2219b0016f6.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-19f6b2219b0016f6: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-3141103faa72dfde.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-3141103faa72dfde: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-6473cae669ca020c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-6473cae669ca020c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

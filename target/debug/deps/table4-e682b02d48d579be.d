@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e682b02d48d579be.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-e682b02d48d579be: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

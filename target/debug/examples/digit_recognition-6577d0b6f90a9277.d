@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/digit_recognition-6577d0b6f90a9277.d: crates/core/../../examples/digit_recognition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdigit_recognition-6577d0b6f90a9277.rmeta: crates/core/../../examples/digit_recognition.rs Cargo.toml
+
+crates/core/../../examples/digit_recognition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/digit_recognition-977b4a20e73ed354.d: crates/core/../../examples/digit_recognition.rs
+
+/root/repo/target/debug/examples/digit_recognition-977b4a20e73ed354: crates/core/../../examples/digit_recognition.rs
+
+crates/core/../../examples/digit_recognition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/novelty_detection-1e76b947c0e5f4ce.d: crates/core/../../examples/novelty_detection.rs
+
+/root/repo/target/debug/examples/novelty_detection-1e76b947c0e5f4ce: crates/core/../../examples/novelty_detection.rs
+
+crates/core/../../examples/novelty_detection.rs:

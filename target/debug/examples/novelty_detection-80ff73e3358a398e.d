@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/novelty_detection-80ff73e3358a398e.d: crates/core/../../examples/novelty_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnovelty_detection-80ff73e3358a398e.rmeta: crates/core/../../examples/novelty_detection.rs Cargo.toml
+
+crates/core/../../examples/novelty_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

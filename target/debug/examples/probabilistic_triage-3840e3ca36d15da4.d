@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probabilistic_triage-3840e3ca36d15da4.d: crates/core/../../examples/probabilistic_triage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobabilistic_triage-3840e3ca36d15da4.rmeta: crates/core/../../examples/probabilistic_triage.rs Cargo.toml
+
+crates/core/../../examples/probabilistic_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

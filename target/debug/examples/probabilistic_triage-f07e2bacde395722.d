@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probabilistic_triage-f07e2bacde395722.d: crates/core/../../examples/probabilistic_triage.rs
+
+/root/repo/target/debug/examples/probabilistic_triage-f07e2bacde395722: crates/core/../../examples/probabilistic_triage.rs
+
+crates/core/../../examples/probabilistic_triage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9c085328706d65b8.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9c085328706d65b8: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

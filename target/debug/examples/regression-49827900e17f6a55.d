@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/regression-49827900e17f6a55.d: crates/core/../../examples/regression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libregression-49827900e17f6a55.rmeta: crates/core/../../examples/regression.rs Cargo.toml
+
+crates/core/../../examples/regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

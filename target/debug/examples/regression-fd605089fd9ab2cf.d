@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regression-fd605089fd9ab2cf.d: crates/core/../../examples/regression.rs
+
+/root/repo/target/debug/examples/regression-fd605089fd9ab2cf: crates/core/../../examples/regression.rs
+
+crates/core/../../examples/regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_classification-a76f42aabffdf4b7.d: crates/core/../../examples/text_classification.rs
+
+/root/repo/target/debug/examples/text_classification-a76f42aabffdf4b7: crates/core/../../examples/text_classification.rs
+
+crates/core/../../examples/text_classification.rs:

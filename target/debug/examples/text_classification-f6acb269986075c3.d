@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/text_classification-f6acb269986075c3.d: crates/core/../../examples/text_classification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtext_classification-f6acb269986075c3.rmeta: crates/core/../../examples/text_classification.rs Cargo.toml
+
+crates/core/../../examples/text_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_buffer_policy-4a7dceaf698dc992.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/release/deps/ablation_buffer_policy-4a7dceaf698dc992: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_buffer_policy-b6398dc5963b4907.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/release/deps/ablation_buffer_policy-b6398dc5963b4907: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_buffer_policy-c5777a968b53f9be.d: crates/bench/src/bin/ablation_buffer_policy.rs
+
+/root/repo/target/release/deps/ablation_buffer_policy-c5777a968b53f9be: crates/bench/src/bin/ablation_buffer_policy.rs
+
+crates/bench/src/bin/ablation_buffer_policy.rs:

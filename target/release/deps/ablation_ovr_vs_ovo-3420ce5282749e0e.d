@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ovr_vs_ovo-3420ce5282749e0e.d: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+/root/repo/target/release/deps/ablation_ovr_vs_ovo-3420ce5282749e0e: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+crates/bench/src/bin/ablation_ovr_vs_ovo.rs:

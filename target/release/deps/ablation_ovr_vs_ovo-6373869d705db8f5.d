@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ovr_vs_ovo-6373869d705db8f5.d: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+/root/repo/target/release/deps/ablation_ovr_vs_ovo-6373869d705db8f5: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+crates/bench/src/bin/ablation_ovr_vs_ovo.rs:

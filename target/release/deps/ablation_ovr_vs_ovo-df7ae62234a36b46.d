@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ovr_vs_ovo-df7ae62234a36b46.d: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+/root/repo/target/release/deps/ablation_ovr_vs_ovo-df7ae62234a36b46: crates/bench/src/bin/ablation_ovr_vs_ovo.rs
+
+crates/bench/src/bin/ablation_ovr_vs_ovo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_buffer-229ac05ba429496b.d: crates/bench/benches/bench_buffer.rs
+
+/root/repo/target/release/deps/bench_buffer-229ac05ba429496b: crates/bench/benches/bench_buffer.rs
+
+crates/bench/benches/bench_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_predict-e78b473025a41aac.d: crates/bench/benches/bench_predict.rs
+
+/root/repo/target/release/deps/bench_predict-e78b473025a41aac: crates/bench/benches/bench_predict.rs
+
+crates/bench/benches/bench_predict.rs:

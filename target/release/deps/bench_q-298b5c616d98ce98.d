@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_q-298b5c616d98ce98.d: crates/bench/benches/bench_q.rs
+
+/root/repo/target/release/deps/bench_q-298b5c616d98ce98: crates/bench/benches/bench_q.rs
+
+crates/bench/benches/bench_q.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_rowbatch-d932c9f20902dec4.d: crates/bench/benches/bench_rowbatch.rs
+
+/root/repo/target/release/deps/bench_rowbatch-d932c9f20902dec4: crates/bench/benches/bench_rowbatch.rs
+
+crates/bench/benches/bench_rowbatch.rs:

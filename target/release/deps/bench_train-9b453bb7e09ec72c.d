@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_train-9b453bb7e09ec72c.d: crates/bench/benches/bench_train.rs
+
+/root/repo/target/release/deps/bench_train-9b453bb7e09ec72c: crates/bench/benches/bench_train.rs
+
+crates/bench/benches/bench_train.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7e7b622f293bd941.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7e7b622f293bd941.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7e7b622f293bd941.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b4fbe698aa5d319b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b4fbe698aa5d319b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b4fbe698aa5d319b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

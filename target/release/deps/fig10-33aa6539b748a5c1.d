@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-33aa6539b748a5c1.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-33aa6539b748a5c1: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

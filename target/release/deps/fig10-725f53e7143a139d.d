@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-725f53e7143a139d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-725f53e7143a139d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-a71e486336a47afe.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-a71e486336a47afe: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_12-bd219e21603a3a92.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/release/deps/fig11_12-bd219e21603a3a92: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_12-d2f154d89a23a95f.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/release/deps/fig11_12-d2f154d89a23a95f: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

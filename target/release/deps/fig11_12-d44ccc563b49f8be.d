@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_12-d44ccc563b49f8be.d: crates/bench/src/bin/fig11_12.rs
+
+/root/repo/target/release/deps/fig11_12-d44ccc563b49f8be: crates/bench/src/bin/fig11_12.rs
+
+crates/bench/src/bin/fig11_12.rs:

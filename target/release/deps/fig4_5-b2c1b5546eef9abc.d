@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_5-b2c1b5546eef9abc.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/release/deps/fig4_5-b2c1b5546eef9abc: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_5-c9850b0111410657.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/release/deps/fig4_5-c9850b0111410657: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_5-e102c778acf54817.d: crates/bench/src/bin/fig4_5.rs
+
+/root/repo/target/release/deps/fig4_5-e102c778acf54817: crates/bench/src/bin/fig4_5.rs
+
+crates/bench/src/bin/fig4_5.rs:

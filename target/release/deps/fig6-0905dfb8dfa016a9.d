@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0905dfb8dfa016a9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0905dfb8dfa016a9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

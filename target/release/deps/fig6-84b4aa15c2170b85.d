@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-84b4aa15c2170b85.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-84b4aa15c2170b85: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

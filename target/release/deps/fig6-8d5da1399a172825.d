@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-8d5da1399a172825.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-8d5da1399a172825: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

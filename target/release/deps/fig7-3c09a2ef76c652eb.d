@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-3c09a2ef76c652eb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-3c09a2ef76c652eb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

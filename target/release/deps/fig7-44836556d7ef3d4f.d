@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-44836556d7ef3d4f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-44836556d7ef3d4f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-b59c2d4c52b1191f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-b59c2d4c52b1191f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-1d59c390ba294794.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-1d59c390ba294794: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-534b91b079d8fc48.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-534b91b079d8fc48: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-d16ab30ecc823d9d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-d16ab30ecc823d9d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-16fcc92c44a54d4e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-16fcc92c44a54d4e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-5aac97943f02384f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-5aac97943f02384f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-a01391b5e18642ae.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-a01391b5e18642ae: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

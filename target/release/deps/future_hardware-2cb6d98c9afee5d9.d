@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_hardware-2cb6d98c9afee5d9.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/release/deps/future_hardware-2cb6d98c9afee5d9: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_hardware-4edad79f71440d61.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/release/deps/future_hardware-4edad79f71440d61: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

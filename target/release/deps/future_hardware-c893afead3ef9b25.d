@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_hardware-c893afead3ef9b25.d: crates/bench/src/bin/future_hardware.rs
+
+/root/repo/target/release/deps/future_hardware-c893afead3ef9b25: crates/bench/src/bin/future_hardware.rs
+
+crates/bench/src/bin/future_hardware.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmp_baselines-6abb20983d9d878d.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/release/deps/libgmp_baselines-6abb20983d9d878d.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/release/deps/libgmp_baselines-6abb20983d9d878d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmp_baselines-d450c4b7f0f08c56.d: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/release/deps/libgmp_baselines-d450c4b7f0f08c56.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+/root/repo/target/release/deps/libgmp_baselines-d450c4b7f0f08c56.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparators.rs crates/baselines/src/uncached.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparators.rs:
+crates/baselines/src/uncached.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmp_bench-ee2e3740127ed6b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_bench-ee2e3740127ed6b7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_bench-ee2e3740127ed6b7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

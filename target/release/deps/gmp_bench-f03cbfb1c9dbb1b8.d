@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmp_bench-f03cbfb1c9dbb1b8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/gmp_bench-f03cbfb1c9dbb1b8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

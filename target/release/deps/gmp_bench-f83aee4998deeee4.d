@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmp_bench-f83aee4998deeee4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_bench-f83aee4998deeee4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_bench-f83aee4998deeee4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

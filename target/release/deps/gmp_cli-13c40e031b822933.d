@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmp_cli-13c40e031b822933.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_cli-13c40e031b822933.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_cli-13c40e031b822933.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

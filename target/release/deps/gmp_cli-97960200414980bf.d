@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmp_cli-97960200414980bf.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_cli-97960200414980bf.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_cli-97960200414980bf.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

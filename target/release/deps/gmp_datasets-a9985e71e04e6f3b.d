@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gmp_datasets-a9985e71e04e6f3b.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libgmp_datasets-a9985e71e04e6f3b.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libgmp_datasets-a9985e71e04e6f3b.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/libsvm_format.rs crates/datasets/src/paper.rs crates/datasets/src/preprocess.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/libsvm_format.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gmp_gpusim-cb8a18e99e2736ff.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/release/deps/libgmp_gpusim-cb8a18e99e2736ff.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/release/deps/libgmp_gpusim-cb8a18e99e2736ff.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/memory.rs crates/gpu-sim/src/pool.rs crates/gpu-sim/src/reduce.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/memory.rs:
+crates/gpu-sim/src/pool.rs:
+crates/gpu-sim/src/reduce.rs:
+crates/gpu-sim/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmp_integration-d37ecfe54f75b0c1.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_integration-d37ecfe54f75b0c1.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libgmp_integration-d37ecfe54f75b0c1.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gmp_kernel-7e857168dc3edfa8.d: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+/root/repo/target/release/deps/libgmp_kernel-7e857168dc3edfa8.rlib: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+/root/repo/target/release/deps/libgmp_kernel-7e857168dc3edfa8.rmeta: crates/kernel/src/lib.rs crates/kernel/src/buffer.rs crates/kernel/src/functions.rs crates/kernel/src/oracle.rs crates/kernel/src/rows.rs crates/kernel/src/shared.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/buffer.rs:
+crates/kernel/src/functions.rs:
+crates/kernel/src/oracle.rs:
+crates/kernel/src/rows.rs:
+crates/kernel/src/shared.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmp_predict-dc703fffce302fa2.d: crates/cli/src/bin/gmp_predict.rs
+
+/root/repo/target/release/deps/gmp_predict-dc703fffce302fa2: crates/cli/src/bin/gmp_predict.rs
+
+crates/cli/src/bin/gmp_predict.rs:

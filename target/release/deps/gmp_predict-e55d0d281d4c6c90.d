@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmp_predict-e55d0d281d4c6c90.d: crates/cli/src/bin/gmp_predict.rs
+
+/root/repo/target/release/deps/gmp_predict-e55d0d281d4c6c90: crates/cli/src/bin/gmp_predict.rs
+
+crates/cli/src/bin/gmp_predict.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gmp_prob-8e6efec6feb1da00.d: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/release/deps/libgmp_prob-8e6efec6feb1da00.rlib: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+/root/repo/target/release/deps/libgmp_prob-8e6efec6feb1da00.rmeta: crates/probability/src/lib.rs crates/probability/src/coupling.rs crates/probability/src/metrics.rs crates/probability/src/platt.rs
+
+crates/probability/src/lib.rs:
+crates/probability/src/coupling.rs:
+crates/probability/src/metrics.rs:
+crates/probability/src/platt.rs:

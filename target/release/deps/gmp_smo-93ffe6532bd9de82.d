@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gmp_smo-93ffe6532bd9de82.d: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/release/deps/libgmp_smo-93ffe6532bd9de82.rlib: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+/root/repo/target/release/deps/libgmp_smo-93ffe6532bd9de82.rmeta: crates/smo/src/lib.rs crates/smo/src/batched.rs crates/smo/src/classic.rs crates/smo/src/common.rs crates/smo/src/decision.rs
+
+crates/smo/src/lib.rs:
+crates/smo/src/batched.rs:
+crates/smo/src/classic.rs:
+crates/smo/src/common.rs:
+crates/smo/src/decision.rs:

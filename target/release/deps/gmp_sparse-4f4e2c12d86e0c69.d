@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gmp_sparse-4f4e2c12d86e0c69.d: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/release/deps/libgmp_sparse-4f4e2c12d86e0c69.rlib: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+/root/repo/target/release/deps/libgmp_sparse-4f4e2c12d86e0c69.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ops.rs:

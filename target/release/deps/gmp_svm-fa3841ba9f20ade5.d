@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/gmp_svm-fa3841ba9f20ade5.d: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libgmp_svm-fa3841ba9f20ade5.rlib: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libgmp_svm-fa3841ba9f20ade5.rmeta: crates/core/src/lib.rs crates/core/src/cv.rs crates/core/src/model.rs crates/core/src/model_selection.rs crates/core/src/oneclass.rs crates/core/src/ovo.rs crates/core/src/ovr.rs crates/core/src/params.rs crates/core/src/predict.rs crates/core/src/svr.rs crates/core/src/telemetry.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cv.rs:
+crates/core/src/model.rs:
+crates/core/src/model_selection.rs:
+crates/core/src/oneclass.rs:
+crates/core/src/ovo.rs:
+crates/core/src/ovr.rs:
+crates/core/src/params.rs:
+crates/core/src/predict.rs:
+crates/core/src/svr.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmp_train-a7059f0bdd48f773.d: crates/cli/src/bin/gmp_train.rs
+
+/root/repo/target/release/deps/gmp_train-a7059f0bdd48f773: crates/cli/src/bin/gmp_train.rs
+
+crates/cli/src/bin/gmp_train.rs:

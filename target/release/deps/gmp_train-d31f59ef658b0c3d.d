@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmp_train-d31f59ef658b0c3d.d: crates/cli/src/bin/gmp_train.rs
+
+/root/repo/target/release/deps/gmp_train-d31f59ef658b0c3d: crates/cli/src/bin/gmp_train.rs
+
+crates/cli/src/bin/gmp_train.rs:

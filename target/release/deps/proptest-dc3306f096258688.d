@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-dc3306f096258688.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dc3306f096258688.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dc3306f096258688.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-16a2519efb856979.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-16a2519efb856979.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-16a2519efb856979.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ba68d39760093e57.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ba68d39760093e57.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ba68d39760093e57.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

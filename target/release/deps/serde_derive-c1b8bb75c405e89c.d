@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c1b8bb75c405e89c.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-c1b8bb75c405e89c.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

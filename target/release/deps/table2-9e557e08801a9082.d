@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-9e557e08801a9082.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-9e557e08801a9082: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-af905b46ae20efbd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-af905b46ae20efbd: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d01c3f8938ed2dbe.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d01c3f8938ed2dbe: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

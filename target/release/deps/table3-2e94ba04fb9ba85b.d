@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-2e94ba04fb9ba85b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-2e94ba04fb9ba85b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-7e971b1598acf502.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-7e971b1598acf502: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

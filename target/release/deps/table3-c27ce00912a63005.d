@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-c27ce00912a63005.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-c27ce00912a63005: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-0d89997606dfb858.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-0d89997606dfb858: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-bb54f6ad87e9f934.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-bb54f6ad87e9f934: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

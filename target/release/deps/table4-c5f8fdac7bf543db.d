@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-c5f8fdac7bf543db.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-c5f8fdac7bf543db: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

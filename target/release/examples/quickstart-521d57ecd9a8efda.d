@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-521d57ecd9a8efda.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-521d57ecd9a8efda: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

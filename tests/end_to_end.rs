@@ -34,7 +34,11 @@ fn connect4_standin_all_backends() {
         let out = MpSvmTrainer::new(params, backend.clone())
             .train(&split.train)
             .unwrap_or_else(|e| panic!("{}: {e}", backend.label()));
-        assert!(out.report.all_converged(), "{} unconverged", backend.label());
+        assert!(
+            out.report.all_converged(),
+            "{} unconverged",
+            backend.label()
+        );
         assert_eq!(out.model.binaries.len(), 3);
         let pred = out.model.predict(&split.test.x, &backend).unwrap();
         let err = error_rate(&pred.labels, &split.test.y);
@@ -45,7 +49,10 @@ fn connect4_standin_all_backends() {
     // must agree to within a couple of flips.
     let spread = test_errors.iter().cloned().fold(0.0f64, f64::max)
         - test_errors.iter().cloned().fold(1.0f64, f64::min);
-    assert!(spread < 0.05, "backend test errors diverge: {test_errors:?}");
+    assert!(
+        spread < 0.05,
+        "backend test errors diverge: {test_errors:?}"
+    );
 }
 
 #[test]
@@ -138,8 +145,7 @@ fn binary_dataset_single_pair_pipeline() {
 fn cross_validation_runs_end_to_end() {
     let data = PaperDataset::Connect4.generate(0.0015);
     let params = tiny_params(PaperDataset::Connect4);
-    let cv = gmp_svm::cv::cross_validate(params, Backend::gmp_default(), &data, 3, 11)
-        .expect("cv");
+    let cv = gmp_svm::cv::cross_validate(params, Backend::gmp_default(), &data, 3, 11).expect("cv");
     assert_eq!(cv.fold_errors.len(), 3);
     assert!(cv.mean_error < 0.6, "cv error {}", cv.mean_error);
 }

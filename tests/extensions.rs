@@ -41,8 +41,12 @@ fn svr_on_scaled_features() {
     );
     assert!(model.converged);
     let pred = model.predict(&xs_scaled);
-    let mse: f64 =
-        pred.iter().zip(&z).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / z.len() as f64;
+    let mse: f64 = pred
+        .iter()
+        .zip(&z)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / z.len() as f64;
     assert!(mse < 0.02, "mse {mse}");
 }
 
@@ -108,7 +112,10 @@ fn grid_search_then_final_fit() {
     let out = MpSvmTrainer::new(best, Backend::gmp_default())
         .train(&data)
         .expect("final fit");
-    let pred = out.model.predict(&data.x, &Backend::gmp_default()).expect("predict");
+    let pred = out
+        .model
+        .predict(&data.x, &Backend::gmp_default())
+        .expect("predict");
     assert!(error_rate(&pred.labels, &data.y) <= points[0].cv_error + 0.05);
 }
 
@@ -148,7 +155,10 @@ fn weighted_training_through_gmp_backend() {
         seed: 103,
     }
     .generate();
-    let params = SvmParams::default().with_c(1.0).with_rbf(1.0).with_working_set(16, 8);
+    let params = SvmParams::default()
+        .with_c(1.0)
+        .with_rbf(1.0)
+        .with_working_set(16, 8);
     let cpu = MpSvmTrainer::new(params, Backend::libsvm())
         .with_class_weights(vec![1.0, 3.0])
         .train(&data)
@@ -188,7 +198,10 @@ fn cv_sigmoid_end_to_end_probabilities() {
 fn scale_pair_preserves_learnability() {
     let split = PaperDataset::Webdata.generate_split(0.006);
     let (train_s, test_s, _) = scale_pair(&split.train, &split.test);
-    let params = SvmParams::default().with_c(10.0).with_rbf(0.5).with_working_set(32, 16);
+    let params = SvmParams::default()
+        .with_c(10.0)
+        .with_rbf(0.5)
+        .with_working_set(32, 16);
     let out = MpSvmTrainer::new(params, Backend::cmp_svm())
         .train(&train_s)
         .expect("train");

@@ -45,7 +45,7 @@ fn peak_memory_never_exceeds_capacity() {
 #[test]
 fn smaller_device_lowers_concurrency_not_correctness() {
     let data = blobs(400, 6); // 15 binary problems
-    // Plenty of memory: high concurrency.
+                              // Plenty of memory: high concurrency.
     let big = MpSvmTrainer::new(
         params(),
         Backend::Gmp {
@@ -71,7 +71,10 @@ fn smaller_device_lowers_concurrency_not_correctness() {
     assert!(big.report.concurrency > 1, "expected concurrent training");
     // Same classifier either way.
     for (a, b) in big.model.binaries.iter().zip(&small.model.binaries) {
-        assert!((a.rho - b.rho).abs() < 1e-9, "concurrency changed the model");
+        assert!(
+            (a.rho - b.rho).abs() < 1e-9,
+            "concurrency changed the model"
+        );
     }
 }
 
@@ -98,14 +101,9 @@ fn baseline_frees_per_problem_memory_between_svms() {
     // The GPU baseline loads one binary problem at a time; after training,
     // everything is freed.
     let device_cfg = DeviceConfig::tesla_p100();
-    let out = MpSvmTrainer::new(
-        params(),
-        Backend::GpuBaseline {
-            device: device_cfg,
-        },
-    )
-    .train(&blobs(300, 4))
-    .expect("baseline");
+    let out = MpSvmTrainer::new(params(), Backend::GpuBaseline { device: device_cfg })
+        .train(&blobs(300, 4))
+        .expect("baseline");
     // Peak is bounded by roughly one problem's footprint (data + cache +
     // rows), far below what all six problems at once would need.
     let peak = out.report.peak_device_mem;
@@ -122,7 +120,7 @@ fn buffer_allocation_capacity_cycle() {
     let dev = Device::new(DeviceConfig::tiny_test(24 * 1024));
     let b1 = KernelBuffer::new(32, 64, ReplacementPolicy::FifoBatch, Some(&dev)).unwrap();
     assert_eq!(dev.mem_used(), 32 * 64 * 8); // 16 KiB
-    // A second identical buffer overflows the 24 KiB device.
+                                             // A second identical buffer overflows the 24 KiB device.
     let b2 = KernelBuffer::new(32, 64, ReplacementPolicy::FifoBatch, Some(&dev));
     assert!(matches!(b2, Err(DeviceError::OutOfMemory { .. })));
     drop(b1);

@@ -30,7 +30,10 @@ fn roundtrip_preserves_predictions() {
     let text = out.model.to_text();
     let loaded = MpSvmModel::from_text(&text).expect("parse");
     let backend = Backend::gmp_default();
-    let a = out.model.predict(&data.x, &backend).expect("predict original");
+    let a = out
+        .model
+        .predict(&data.x, &backend)
+        .expect("predict original");
     let b = loaded.predict(&data.x, &backend).expect("predict loaded");
     assert_eq!(a.labels, b.labels);
     for (pa, pb) in a.probabilities.iter().zip(&b.probabilities) {
@@ -82,7 +85,10 @@ fn corrupted_models_rejected_with_context() {
     let _ = bad;
     let bad_pool = text.replacen("sv_pool", "sv_pool_oops", 1);
     let err = MpSvmModel::from_text(&bad_pool).unwrap_err();
-    assert!(err.line >= 4, "error should point at the sv_pool line: {err}");
+    assert!(
+        err.line >= 4,
+        "error should point at the sv_pool line: {err}"
+    );
 }
 
 #[test]

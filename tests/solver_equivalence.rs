@@ -23,8 +23,7 @@ fn solve_both(
     let mut rows_c =
         BufferedRows::new(oracle.clone(), x.nrows(), ReplacementPolicy::Lru, None).unwrap();
     let classic = ClassicSmoSolver::new(SmoParams::with_c(c)).solve(y, &mut rows_c, &exec());
-    let mut rows_b =
-        BufferedRows::new(oracle, 48, ReplacementPolicy::FifoBatch, None).unwrap();
+    let mut rows_b = BufferedRows::new(oracle, 48, ReplacementPolicy::FifoBatch, None).unwrap();
     let batched = BatchedSmoSolver::new(BatchedParams {
         base: SmoParams::with_c(c),
         ws_size: 48,
@@ -80,7 +79,11 @@ fn equivalence_across_hyperparameters() {
         seed: 31,
     }
     .generate();
-    let y: Vec<f64> = data.y.iter().map(|&c| if c == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = data
+        .y
+        .iter()
+        .map(|&c| if c == 0 { 1.0 } else { -1.0 })
+        .collect();
     for c in [0.1, 1.0, 10.0] {
         for gamma in [0.1, 1.0] {
             let (classic, batched) = solve_both(&data.x, &y, KernelKind::Rbf { gamma }, c);
@@ -92,7 +95,11 @@ fn equivalence_across_hyperparameters() {
 #[test]
 fn equivalence_on_sparse_text_like_data() {
     let data = PaperDataset::Rcv1.generate(0.008);
-    let y: Vec<f64> = data.y.iter().map(|&c| if c == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = data
+        .y
+        .iter()
+        .map(|&c| if c == 0 { 1.0 } else { -1.0 })
+        .collect();
     let spec = PaperDataset::Rcv1.spec();
     let (classic, batched) = solve_both(&data.x, &y, KernelKind::Rbf { gamma: spec.gamma }, spec.c);
     assert_same_optimum(&classic, &batched, "rcv1");
@@ -108,7 +115,11 @@ fn equivalence_with_linear_kernel() {
         seed: 32,
     }
     .generate();
-    let y: Vec<f64> = data.y.iter().map(|&c| if c == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = data
+        .y
+        .iter()
+        .map(|&c| if c == 0 { 1.0 } else { -1.0 })
+        .collect();
     let (classic, batched) = solve_both(&data.x, &y, KernelKind::Linear, 1.0);
     assert_same_optimum(&classic, &batched, "linear");
 }
@@ -172,7 +183,11 @@ fn batched_solver_insensitive_to_buffer_policy() {
         seed: 33,
     }
     .generate();
-    let y: Vec<f64> = data.y.iter().map(|&c| if c == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = data
+        .y
+        .iter()
+        .map(|&c| if c == 0 { 1.0 } else { -1.0 })
+        .collect();
     let oracle = Arc::new(KernelOracle::new(
         Arc::new(data.x.clone()),
         KernelKind::Rbf { gamma: 0.5 },

@@ -1,0 +1,499 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This container has no crates.io access, so the workspace vendors the
+//! proptest surface its property tests use: the `Strategy` trait with
+//! `prop_map`/`prop_flat_map`, range/tuple/`Just`/`bool::ANY`/
+//! `collection::vec` strategies, `prop_oneof!` (plain and weighted), and
+//! the `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports the deterministic seed and
+//!   case number instead of a minimized input.
+//! - **Deterministic seeding.** The RNG seed derives from the test name
+//!   (override with `PROPTEST_SEED=<u64>`), so runs are reproducible.
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A reusable generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate an intermediate value, then a strategy from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn sample_dyn(&self, rng: &mut StdRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// Type-erased strategy; see [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut StdRng) -> V {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Weighted choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms; weights must sum > 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights changed mid-sample")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform `bool` strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact `usize`, `a..b`, or `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element`, with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_incl);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and driver used by the `proptest!` macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's config: the number of cases per test.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property: the formatted assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    fn seed_for(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse() {
+                return v;
+            }
+        }
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `body` for `config.cases` deterministic random cases, panicking
+    /// with seed + case number on the first failure (no shrinking).
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_for(name);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest {name}: case {}/{} failed (PROPTEST_SEED={seed}): {e}",
+                    case + 1,
+                    config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current property case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} vs {:?})", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Fail the current property case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Weighted or uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $( $(#[$meta:meta])+ fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run(&config, stringify!($name), |rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..10).prop_flat_map(|n| (Just(n).prop_map(|v| v * 2), -1.0..1.0f64))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..40, y in -5.0..5.0f64) {
+            prop_assert!(x < 40);
+            prop_assert!((-5.0..5.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size((n, _f) in pairs(), v in crate::collection::vec(0u8..=3, 2..6)) {
+            prop_assert!(n >= 2 && n % 2 == 0);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b <= 3));
+        }
+
+        #[test]
+        fn oneof_honors_arms(v in prop_oneof![3 => Just(0.0), 2 => 5.0..6.0f64], b in crate::bool::ANY) {
+            prop_assert!(v == 0.0 || (5.0..6.0).contains(&v));
+            prop_assert_eq!(b, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = crate::collection::vec(0u32..100, 5..9);
+        let a: Vec<Vec<u32>> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<Vec<u32>> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation — nothing bounds on the serde traits or calls a serializer
+//! (persistence goes through hand-rolled text formats). These derives
+//! therefore expand to nothing, which keeps every `derive` attribute in
+//! the tree compiling without network access to the real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
