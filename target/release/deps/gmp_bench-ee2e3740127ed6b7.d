@@ -5,3 +5,5 @@
 /root/repo/target/release/deps/libgmp_bench-ee2e3740127ed6b7.rmeta: crates/bench/src/lib.rs
 
 crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
