@@ -11,10 +11,38 @@
 //! has labels.
 
 use gmp_cli::parse_args;
+use gmp_datasets::{Dataset, LibsvmStreamParser};
 use gmp_svm::predict::error_rate;
 use gmp_svm::MpSvmModel;
 use std::fmt::Write as _;
+use std::io::BufRead;
 use std::process::ExitCode;
+
+/// Stream the test file through the incremental LibSVM parser instead of
+/// slurping it into one string — large test sets never hold text + matrix
+/// in memory at once, and parse errors point at the offending line.
+fn load_test_file(path: &str, min_dim: usize) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut parser = LibsvmStreamParser::new();
+    let mut line = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).map_err(|e| {
+            format!(
+                "{path}: read failed after line {}: {e}",
+                parser.lines_seen()
+            )
+        })?;
+        if read == 0 {
+            break;
+        }
+        parser
+            .push_line(line.trim_end_matches(['\n', '\r']))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(parser.finish(min_dim))
+}
 
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
@@ -45,17 +73,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let test_text = match std::fs::read_to_string(test_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("gmp-predict: cannot read {test_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let data = match gmp_datasets::parse_libsvm(&test_text, model.sv_pool.ncols()) {
+    let data = match load_test_file(test_path, model.sv_pool.ncols()) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("gmp-predict: {test_path}: {e}");
+            eprintln!("gmp-predict: {e}");
             return ExitCode::FAILURE;
         }
     };

@@ -47,9 +47,9 @@ pub use oneclass::{train_one_class, OneClassModel, OneClassParams};
 pub use ovo::{class_pairs, BinaryProblem};
 pub use ovr::{evaluate_ovr, OvrModel};
 pub use params::{Backend, SvmParams};
-pub use predict::PredictOutcome;
+pub use predict::{PredictOutcome, PreparedPredictor};
 pub use svr::{train_svr, SvrModel, SvrParams};
-pub use telemetry::{BinaryTrainStats, PredictReport, TrainReport};
+pub use telemetry::{BinaryTrainStats, LatencyHistogram, PredictReport, ServeReport, TrainReport};
 pub use trainer::{MpSvmTrainer, TrainError, TrainOutcome};
 
 // Re-exports for downstream convenience.

@@ -56,8 +56,17 @@ impl MpSvmModel {
         backend: &Backend,
         host_threads: Option<usize>,
     ) -> Result<PredictOutcome, TrainError> {
+        self.predict_inner(test, backend, resolve_host_threads_opt(host_threads), None)
+    }
+
+    fn predict_inner(
+        &self,
+        test: &CsrMatrix,
+        backend: &Backend,
+        ht: usize,
+        prepared_oracle: Option<&KernelOracle>,
+    ) -> Result<PredictOutcome, TrainError> {
         let wall = Instant::now();
-        let ht = resolve_host_threads_opt(host_threads);
         let m = test.nrows();
         let k = self.classes;
         let n_binaries = self.binaries.len();
@@ -88,14 +97,25 @@ impl MpSvmModel {
             // per binary).
             let test_norms = test.row_norms_sq();
             if shared {
-                kernel_evals += self.decisions_shared(
-                    test,
-                    &test_norms,
-                    exec,
-                    device.as_ref(),
-                    ht,
-                    &mut decision_values,
-                )?;
+                kernel_evals += match prepared_oracle {
+                    Some(oracle) => self.decisions_shared_with(
+                        test,
+                        &test_norms,
+                        exec,
+                        device.as_ref(),
+                        ht,
+                        oracle,
+                        &mut decision_values,
+                    )?,
+                    None => self.decisions_shared(
+                        test,
+                        &test_norms,
+                        exec,
+                        device.as_ref(),
+                        ht,
+                        &mut decision_values,
+                    )?,
+                };
             } else {
                 kernel_evals += self.decisions_unshared(
                     test,
@@ -200,9 +220,27 @@ impl MpSvmModel {
         host_threads: usize,
         out: &mut [Vec<f64>],
     ) -> Result<u64, TrainError> {
-        let n_sv = self.sv_pool.nrows();
         let oracle = KernelOracle::new(Arc::new(self.sv_pool.clone()), self.kernel)
             .with_host_threads(host_threads);
+        self.decisions_shared_with(test, test_norms, exec, device, host_threads, &oracle, out)
+    }
+
+    /// [`MpSvmModel::decisions_shared`] against a caller-held oracle over
+    /// the SV pool, so long-lived predictors ([`PreparedPredictor`]) pay
+    /// the pool clone + norm precomputation once instead of per call.
+    #[allow(clippy::too_many_arguments)]
+    fn decisions_shared_with(
+        &self,
+        test: &CsrMatrix,
+        test_norms: &[f64],
+        exec: &dyn Executor,
+        device: Option<&Device>,
+        host_threads: usize,
+        oracle: &KernelOracle,
+        out: &mut [Vec<f64>],
+    ) -> Result<u64, TrainError> {
+        let n_sv = self.sv_pool.nrows();
+        let evals_before = oracle.eval_count();
         // Device residency: SV pool + one chunk of the kernel block.
         let _sv_mem = match device {
             Some(d) => {
@@ -247,7 +285,7 @@ impl MpSvmModel {
             });
             start = end;
         }
-        Ok(oracle.eval_count())
+        Ok(oracle.eval_count() - evals_before)
     }
 
     /// Unshared path: each binary SVM scores against its own SV list.
@@ -306,6 +344,66 @@ impl MpSvmModel {
             evals += oracle.eval_count();
         }
         Ok(evals)
+    }
+}
+
+/// A model prepared for repeated (online) prediction.
+///
+/// [`MpSvmModel::predict`] rebuilds per-call state the paper's batched
+/// prediction amortizes over one big test file: the SV-pool copy handed to
+/// the kernel oracle, the pool's squared norms, and the kernel diagonal.
+/// A long-lived server scoring many small batches pays that setup on every
+/// call. `PreparedPredictor` hoists it to construction time and reuses it
+/// for every batch, while routing the actual scoring through the **same**
+/// shared code path as `predict` — so results are bit-identical to the
+/// offline API no matter how requests are batched.
+pub struct PreparedPredictor {
+    model: Arc<MpSvmModel>,
+    backend: Backend,
+    host_threads: usize,
+    /// Persistent oracle over the shared SV pool (norms + diagonal
+    /// precomputed). `None` for unshared backends, which score per-binary
+    /// SV lists and have no pool-wide state to reuse.
+    oracle: Option<KernelOracle>,
+}
+
+impl PreparedPredictor {
+    /// Prepare `model` for repeated prediction on `backend`.
+    /// `host_threads` as in [`MpSvmModel::predict_with_threads`].
+    pub fn new(model: Arc<MpSvmModel>, backend: Backend, host_threads: Option<usize>) -> Self {
+        let ht = resolve_host_threads_opt(host_threads);
+        let shared = matches!(backend, Backend::Gmp { .. } | Backend::CpuBatched { .. });
+        let oracle = (shared && model.sv_pool.nrows() > 0).then(|| {
+            KernelOracle::new(Arc::new(model.sv_pool.clone()), model.kernel).with_host_threads(ht)
+        });
+        PreparedPredictor {
+            model,
+            backend,
+            host_threads: ht,
+            oracle,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<MpSvmModel> {
+        &self.model
+    }
+
+    /// The backend every call scores on.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Resolved host-thread count.
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
+    /// Predict every row of `test` — bit-identical to
+    /// [`MpSvmModel::predict`] on the same rows.
+    pub fn predict(&self, test: &CsrMatrix) -> Result<PredictOutcome, TrainError> {
+        self.model
+            .predict_inner(test, &self.backend, self.host_threads, self.oracle.as_ref())
     }
 }
 
@@ -488,6 +586,60 @@ mod tests {
         assert!(pred.probabilities.is_empty());
         let err = error_rate(&pred.labels, &data.y);
         assert!(err < 0.1, "voting error {err}");
+    }
+
+    #[test]
+    fn prepared_predictor_bitwise_matches_predict() {
+        let (out, data) = trained();
+        let backend = Backend::gmp_default();
+        let direct = out
+            .model
+            .predict_with_threads(&data.x, &backend, Some(1))
+            .unwrap();
+        let prepared = PreparedPredictor::new(Arc::new(out.model.clone()), backend, Some(1));
+        // Whole set in one call.
+        let all = prepared.predict(&data.x).unwrap();
+        assert_eq!(all.decision_values, direct.decision_values);
+        assert_eq!(all.probabilities, direct.probabilities);
+        assert_eq!(all.labels, direct.labels);
+        // Row-at-a-time and odd-sized chunks: identical bits regardless of
+        // how rows are batched (the serving subsystem's core guarantee).
+        let mut start = 0usize;
+        for chunk in [1usize, 7, 30] {
+            while start < data.n() {
+                let end = (start + chunk).min(data.n());
+                let rows: Vec<usize> = (start..end).collect();
+                let sub = data.x.select_rows(&rows);
+                let p = prepared.predict(&sub).unwrap();
+                for (i, r) in rows.iter().enumerate() {
+                    assert_eq!(p.decision_values[i], direct.decision_values[*r]);
+                    assert_eq!(p.probabilities[i], direct.probabilities[*r]);
+                    assert_eq!(p.labels[i], direct.labels[*r]);
+                }
+                start = end;
+                if start >= data.n() {
+                    start = 0;
+                    break;
+                }
+            }
+        }
+        // Kernel-eval accounting stays per-call (not cumulative).
+        let once = prepared.predict(&data.x).unwrap();
+        assert_eq!(once.report.kernel_evals, direct.report.kernel_evals);
+    }
+
+    #[test]
+    fn prepared_predictor_unshared_backend_falls_back() {
+        let (out, data) = trained();
+        let backend = Backend::gpu_baseline_default();
+        let direct = out
+            .model
+            .predict_with_threads(&data.x, &backend, Some(1))
+            .unwrap();
+        let prepared = PreparedPredictor::new(Arc::new(out.model.clone()), backend, Some(1));
+        let p = prepared.predict(&data.x).unwrap();
+        assert_eq!(p.labels, direct.labels);
+        assert_eq!(p.decision_values, direct.decision_values);
     }
 
     #[test]

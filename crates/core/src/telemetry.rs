@@ -108,6 +108,173 @@ impl PredictReport {
     }
 }
 
+/// Log-bucketed latency histogram: microsecond durations in power-of-two
+/// buckets, so online recording is O(1) and quantile queries need no
+/// stored samples. Bucket `i` holds durations in `[2^i, 2^(i+1)) µs`
+/// (bucket 0 also absorbs sub-microsecond values); quantiles report the
+/// bucket's upper bound, i.e. they are conservative to within 2x.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket counts.
+    buckets: Vec<u64>,
+    /// Total recorded durations.
+    count: u64,
+    /// Sum of recorded microseconds (for the mean).
+    sum_us: u64,
+    /// Largest recorded duration in microseconds.
+    max_us: u64,
+}
+
+/// `2^40` µs ≈ 13 days — anything longer saturates into the last bucket.
+const LATENCY_BUCKETS: usize = 41;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; LATENCY_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Record one duration (in microseconds).
+    pub fn record_us(&mut self, us: u64) {
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean recorded duration in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_us as f64 / self.count as f64
+    }
+
+    /// Largest recorded duration in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1), in
+    /// microseconds. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i covers [2^i, 2^(i+1)); report the upper bound,
+                // clamped to the observed maximum so p100 is exact.
+                return (1u64 << (i + 1)).saturating_sub(1).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Snapshot of the online-serving counters (`gmp-serve`): admission,
+/// batching, and end-to-end latency. Produced by the serving subsystem's
+/// metrics recorder; everything here is cumulative since server start.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests answered successfully.
+    pub served: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Requests that missed their deadline while queued.
+    pub expired_deadline: u64,
+    /// Requests that failed in scoring (model/backend error).
+    pub failed: u64,
+    /// Batches scored.
+    pub batches: u64,
+    /// Sum of batch sizes (mean batch size = `batched_rows / batches`).
+    pub batched_rows: u64,
+    /// Distribution of batch sizes: `batch_size_hist[i]` counts batches of
+    /// size `i+1`; oversized batches saturate into the last slot.
+    pub batch_size_hist: Vec<u64>,
+    /// High-water mark of the request queue.
+    pub peak_queue_depth: usize,
+    /// End-to-end request latency (enqueue to response).
+    pub latency: LatencyHistogram,
+    /// Wall-clock seconds the metrics cover (server uptime at snapshot).
+    pub uptime_s: f64,
+    /// *Simulated* device-seconds consumed by scoring calls — the
+    /// paper-comparable cost of the served traffic on the modeled GPU
+    /// (launch overheads and SV-pool transfers amortize across a batch).
+    pub scoring_sim_s: f64,
+}
+
+impl ServeReport {
+    /// Mean batch size (0 when no batch was scored).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_rows as f64 / self.batches as f64
+    }
+
+    /// Served requests per second over the covered window.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.uptime_s <= 0.0 {
+            return 0.0;
+        }
+        self.served as f64 / self.uptime_s
+    }
+
+    /// Every accepted request got exactly one terminal outcome — the
+    /// no-silent-drop accounting identity the saturation tests assert.
+    pub fn is_balanced(&self) -> bool {
+        self.accepted == self.served + self.expired_deadline + self.failed
+    }
+
+    /// Scored rows per *simulated* device-second (0 when nothing was
+    /// scored) — the throughput the modeled GPU would sustain on this
+    /// batch mix.
+    pub fn sim_throughput_rps(&self) -> f64 {
+        if self.scoring_sim_s <= 0.0 {
+            return 0.0;
+        }
+        self.batched_rows as f64 / self.scoring_sim_s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +315,63 @@ mod tests {
         };
         assert!((r.sharing_saving() - 0.4).abs() < 1e-12);
         assert_eq!(PredictReport::default().sharing_saving(), 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        // 90 fast requests (~100 µs), 10 slow ones (~50 ms).
+        for _ in 0..90 {
+            h.record_us(100);
+        }
+        for _ in 0..10 {
+            h.record_us(50_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        let p95 = h.quantile_us(0.95);
+        let p99 = h.quantile_us(0.99);
+        // p50 lands in the 100 µs bucket [64, 128); p95/p99 in the 50 ms
+        // bucket. Log buckets are conservative within 2x.
+        assert!((64..=255).contains(&p50), "p50 {p50}");
+        assert!(p95 >= 32_768, "p95 {p95}");
+        assert!((32_768..=50_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile_us(1.0), 50_000);
+        assert!((h.mean_us() - (90.0 * 100.0 + 10.0 * 50_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histogram_merge_and_edges() {
+        let mut a = LatencyHistogram::new();
+        a.record_us(0); // sub-microsecond → bucket 0
+        a.record(std::time::Duration::from_micros(3));
+        let mut b = LatencyHistogram::new();
+        b.record_us(u64::MAX); // saturates into the last bucket
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), u64::MAX);
+        assert!(a.quantile_us(0.01) <= 3);
+    }
+
+    #[test]
+    fn serve_report_accounting() {
+        let r = ServeReport {
+            accepted: 10,
+            served: 8,
+            expired_deadline: 1,
+            failed: 1,
+            rejected_overload: 5,
+            batches: 4,
+            batched_rows: 8,
+            uptime_s: 2.0,
+            ..Default::default()
+        };
+        assert!(r.is_balanced());
+        assert!((r.mean_batch_size() - 2.0).abs() < 1e-12);
+        assert!((r.throughput_rps() - 4.0).abs() < 1e-12);
+        assert!(ServeReport::default().is_balanced());
+        assert_eq!(ServeReport::default().mean_batch_size(), 0.0);
+        assert_eq!(ServeReport::default().throughput_rps(), 0.0);
     }
 }

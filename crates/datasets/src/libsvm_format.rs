@@ -25,6 +25,124 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Incremental LibSVM parser: feed lines one at a time (e.g. straight off
+/// a `BufReader`, without slurping the file into memory first), then call
+/// [`finish`](LibsvmStreamParser::finish) to densify labels and build the
+/// CSR matrix.
+///
+/// `parse_libsvm` is a thin wrapper over this, so the streaming and
+/// whole-text paths accept exactly the same inputs and report the same
+/// line-numbered errors.
+#[derive(Debug, Default)]
+pub struct LibsvmStreamParser {
+    lineno: usize,
+    raw_labels: Vec<f64>,
+    rows: Vec<Vec<(u32, f64)>>,
+    max_col: usize,
+}
+
+impl LibsvmStreamParser {
+    /// Fresh parser; the next pushed line is line 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one input line (without its newline). Blank lines and `#`
+    /// comments count for line numbering but add no row.
+    pub fn push_line(&mut self, line: &str) -> Result<(), ParseError> {
+        self.lineno += 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a token");
+        let label: f64 = label_tok.parse().map_err(|_| ParseError {
+            line: self.lineno,
+            message: format!("bad label '{label_tok}'"),
+        })?;
+        let mut feats: Vec<(u32, f64)> = Vec::new();
+        let mut prev: Option<u32> = None;
+        for tok in parts {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| ParseError {
+                line: self.lineno,
+                message: format!("feature token '{tok}' missing ':'"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| ParseError {
+                line: self.lineno,
+                message: format!("bad feature index '{idx_s}'"),
+            })?;
+            if idx == 0 {
+                return Err(ParseError {
+                    line: self.lineno,
+                    message: "feature indices are 1-based".to_string(),
+                });
+            }
+            let val: f64 = val_s.parse().map_err(|_| ParseError {
+                line: self.lineno,
+                message: format!("bad feature value '{val_s}'"),
+            })?;
+            let col = (idx - 1) as u32;
+            if let Some(p) = prev {
+                if col <= p {
+                    return Err(ParseError {
+                        line: self.lineno,
+                        message: "feature indices must be strictly increasing".to_string(),
+                    });
+                }
+            }
+            prev = Some(col);
+            self.max_col = self.max_col.max(idx);
+            if val != 0.0 {
+                feats.push((col, val));
+            }
+        }
+        self.raw_labels.push(label);
+        self.rows.push(feats);
+        Ok(())
+    }
+
+    /// Rows accepted so far.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Lines consumed so far (including blanks and comments).
+    pub fn lines_seen(&self) -> usize {
+        self.lineno
+    }
+
+    /// Densify labels and assemble the dataset. `min_dim` demands at least
+    /// that many columns; otherwise the dimensionality is the maximum
+    /// feature index seen.
+    pub fn finish(self, min_dim: usize) -> Dataset {
+        // Densify labels: sort distinct values, map to 0..k.
+        let mut distinct: Vec<f64> = self.raw_labels.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+        distinct.dedup();
+        let label_map: HashMap<u64, u32> = distinct
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v.to_bits(), i as u32))
+            .collect();
+
+        let dim = self.max_col.max(min_dim);
+        let mut b = CsrBuilder::new(dim.max(1));
+        for feats in &self.rows {
+            b.start_row();
+            for &(c, v) in feats {
+                b.push(c, v);
+            }
+        }
+        let y: Vec<u32> = self
+            .raw_labels
+            .iter()
+            .map(|v| label_map[&v.to_bits()])
+            .collect();
+        Dataset::new(b.finish(), y)
+    }
+}
+
 /// Parse LibSVM-format text into a dataset.
 ///
 /// Labels may be arbitrary integers/floats; they are densified to `0..k` in
@@ -32,81 +150,11 @@ impl std::error::Error for ParseError {}
 /// 1-based per the format; `dim` is inferred as the maximum index unless
 /// `min_dim` demands more columns.
 pub fn parse_libsvm(text: &str, min_dim: usize) -> Result<Dataset, ParseError> {
-    let mut raw_labels: Vec<f64> = Vec::new();
-    let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
-    let mut max_col = 0usize;
-
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let label_tok = parts.next().expect("non-empty line has a token");
-        let label: f64 = label_tok.parse().map_err(|_| ParseError {
-            line: lineno + 1,
-            message: format!("bad label '{label_tok}'"),
-        })?;
-        let mut feats: Vec<(u32, f64)> = Vec::new();
-        let mut prev: Option<u32> = None;
-        for tok in parts {
-            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| ParseError {
-                line: lineno + 1,
-                message: format!("feature token '{tok}' missing ':'"),
-            })?;
-            let idx: usize = idx_s.parse().map_err(|_| ParseError {
-                line: lineno + 1,
-                message: format!("bad feature index '{idx_s}'"),
-            })?;
-            if idx == 0 {
-                return Err(ParseError {
-                    line: lineno + 1,
-                    message: "feature indices are 1-based".to_string(),
-                });
-            }
-            let val: f64 = val_s.parse().map_err(|_| ParseError {
-                line: lineno + 1,
-                message: format!("bad feature value '{val_s}'"),
-            })?;
-            let col = (idx - 1) as u32;
-            if let Some(p) = prev {
-                if col <= p {
-                    return Err(ParseError {
-                        line: lineno + 1,
-                        message: "feature indices must be strictly increasing".to_string(),
-                    });
-                }
-            }
-            prev = Some(col);
-            max_col = max_col.max(idx);
-            if val != 0.0 {
-                feats.push((col, val));
-            }
-        }
-        raw_labels.push(label);
-        rows.push(feats);
+    let mut p = LibsvmStreamParser::new();
+    for line in text.lines() {
+        p.push_line(line)?;
     }
-
-    // Densify labels: sort distinct values, map to 0..k.
-    let mut distinct: Vec<f64> = raw_labels.clone();
-    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite labels"));
-    distinct.dedup();
-    let label_map: HashMap<u64, u32> = distinct
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v.to_bits(), i as u32))
-        .collect();
-
-    let dim = max_col.max(min_dim);
-    let mut b = CsrBuilder::new(dim.max(1));
-    for feats in &rows {
-        b.start_row();
-        for &(c, v) in feats {
-            b.push(c, v);
-        }
-    }
-    let y: Vec<u32> = raw_labels.iter().map(|v| label_map[&v.to_bits()]).collect();
-    Ok(Dataset::new(b.finish(), y))
+    Ok(p.finish(min_dim))
 }
 
 /// Serialize a dataset to LibSVM text (labels written as the dense class
@@ -202,5 +250,30 @@ mod tests {
     fn zero_values_dropped() {
         let d = parse_libsvm("1 1:0 2:5\n", 0).unwrap();
         assert_eq!(d.x.row(0).indices, &[1]);
+    }
+
+    #[test]
+    fn streaming_parser_matches_whole_text_parse() {
+        let src = "# hdr\n7 1:0.5 3:2.0\n\n3 2:1.0\n10 1:-1 4:0.25\n";
+        let whole = parse_libsvm(src, 6).unwrap();
+        let mut p = LibsvmStreamParser::new();
+        for line in src.lines() {
+            p.push_line(line).unwrap();
+        }
+        assert_eq!(p.n_rows(), 3);
+        assert_eq!(p.lines_seen(), 5);
+        let streamed = p.finish(6);
+        assert_eq!(whole.x, streamed.x);
+        assert_eq!(whole.y, streamed.y);
+    }
+
+    #[test]
+    fn streaming_parser_error_carries_line_number() {
+        let mut p = LibsvmStreamParser::new();
+        p.push_line("# comment").unwrap();
+        p.push_line("1 1:0.5").unwrap();
+        let e = p.push_line("1 2:oops").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad feature value"));
     }
 }

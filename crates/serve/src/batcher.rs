@@ -1,0 +1,487 @@
+//! Dynamic micro-batching with bounded queues and explicit backpressure.
+//!
+//! Topology (all channels bounded):
+//!
+//! ```text
+//! submit() --try_send--> [request queue] --batcher--> [job queue] --workers--> respond
+//!    |                        cap = queue_cap             cap = workers
+//!    +-- Overloaded when full (admission control)
+//! ```
+//!
+//! The batcher thread pulls the backlog greedily (no waiting) up to
+//! `max_batch`, then waits at most `max_delay` for stragglers before
+//! flushing a partial batch — so a loaded server runs at full batches and
+//! an idle one adds at most `max_delay` latency. The job queue's capacity
+//! equals the worker count: when every worker is busy the batcher blocks,
+//! the request queue fills behind it, and admission starts rejecting —
+//! backpressure propagates to the edge instead of growing an unbounded
+//! buffer.
+//!
+//! Every admitted request gets exactly one terminal outcome (served,
+//! expired, failed) — there is no silent-drop path, and
+//! [`gmp_svm::ServeReport::is_balanced`] checks the ledger.
+
+use crate::engine::PredictorEngine;
+use crate::metrics::ServeMetrics;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use gmp_sparse::CsrBuilder;
+use gmp_svm::ServeReport;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the micro-batching loop.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch handed to a worker (≥ 1). 1 disables coalescing —
+    /// every request is scored alone (the A/B baseline).
+    pub max_batch: usize,
+    /// How long a non-full batch waits for stragglers before flushing.
+    /// Zero flushes as soon as the backlog is drained.
+    pub max_delay: Duration,
+    /// Request-queue capacity; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Scoring worker threads (≥ 1).
+    pub workers: usize,
+    /// Deadline applied to [`ServeHandle::submit`] requests
+    /// (`None` = no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Artificial per-batch scoring delay — fault injection for tests and
+    /// load shaping for benchmarks (simulates a heavier model). Keep
+    /// `Duration::ZERO` in production.
+    pub score_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 1024,
+            workers: 2,
+            default_deadline: None,
+            score_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Terminal failure of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue is full; retry later (admission control).
+    Overloaded,
+    /// The request sat in the queue past its deadline.
+    DeadlineExceeded,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// The request itself is malformed for this model.
+    BadInput(String),
+    /// Scoring failed (backend/model error).
+    Predict(String),
+    /// The request was dropped without a verdict — only reachable through
+    /// a worker panic; the responder's drop guard converts the loss into
+    /// an explicit error instead of hanging the caller.
+    Canceled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "server overloaded (queue full)"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::BadInput(m) => write!(f, "bad input: {m}"),
+            ServeError::Predict(m) => write!(f, "prediction failed: {m}"),
+            ServeError::Canceled => write!(f, "request canceled"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class.
+    pub label: u32,
+    /// Class probabilities (empty when the model has no sigmoids).
+    pub probabilities: Vec<f64>,
+}
+
+/// Reply slot of one request. The drop guard guarantees the submitting
+/// thread is always unblocked: if a responder is destroyed without an
+/// explicit verdict (worker panic), the caller gets `Canceled` rather
+/// than waiting forever.
+struct Responder(Option<Sender<Result<Prediction, ServeError>>>);
+
+impl Responder {
+    fn send(mut self, result: Result<Prediction, ServeError>) {
+        if let Some(tx) = self.0.take() {
+            let _ = tx.send(result);
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some(tx) = self.0.take() {
+            let _ = tx.send(Err(ServeError::Canceled));
+        }
+    }
+}
+
+/// One queued request.
+struct Request {
+    /// Sparse features, strictly increasing 0-based columns (validated at
+    /// admission).
+    features: Vec<(u32, f64)>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    resp: Responder,
+}
+
+/// Cloneable client handle: submit requests, read metrics.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: Sender<Request>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    dim: usize,
+    default_deadline: Option<Duration>,
+}
+
+impl ServeHandle {
+    /// Score one instance, blocking until a verdict. Applies the
+    /// configured default deadline.
+    pub fn submit(&self, features: Vec<(u32, f64)>) -> Result<Prediction, ServeError> {
+        self.submit_with_deadline(features, self.default_deadline)
+    }
+
+    /// [`ServeHandle::submit`] with an explicit per-request deadline
+    /// (measured from admission; `None` = wait as long as it takes).
+    pub fn submit_with_deadline(
+        &self,
+        features: Vec<(u32, f64)>,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        validate_features(&features, self.dim)?;
+        let (rtx, rrx) = channel::bounded(1);
+        let now = Instant::now();
+        let req = Request {
+            features,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            resp: Responder(Some(rtx)),
+        };
+        match self.tx.try_send(req) {
+            Ok(()) => self.metrics.note_accepted(self.tx.len()),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.note_rejected_overload();
+                return Err(ServeError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        match rrx.recv() {
+            Ok(verdict) => verdict,
+            Err(_) => Err(ServeError::Canceled),
+        }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn metrics(&self) -> ServeReport {
+        self.metrics.snapshot()
+    }
+
+    /// Feature dimensionality requests must respect.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+fn validate_features(features: &[(u32, f64)], dim: usize) -> Result<(), ServeError> {
+    let mut prev: Option<u32> = None;
+    for &(c, v) in features {
+        if (c as usize) >= dim {
+            return Err(ServeError::BadInput(format!(
+                "feature index {} exceeds model dimensionality {dim}",
+                c as u64 + 1
+            )));
+        }
+        if prev.is_some_and(|p| c <= p) {
+            return Err(ServeError::BadInput(
+                "feature indices must be strictly increasing".to_string(),
+            ));
+        }
+        if !v.is_finite() {
+            return Err(ServeError::BadInput(format!(
+                "feature {} has non-finite value {v}",
+                c as u64 + 1
+            )));
+        }
+        prev = Some(c);
+    }
+    Ok(())
+}
+
+/// A running serving instance: batcher thread + worker pool around one
+/// [`PredictorEngine`].
+pub struct Server {
+    handle: ServeHandle,
+    req_rx: Receiver<Request>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `engine` with `cfg`. Threads run until
+    /// [`Server::shutdown`] (or until the server and every handle are
+    /// dropped).
+    pub fn start(engine: PredictorEngine, cfg: ServeConfig) -> Server {
+        let metrics = Arc::new(ServeMetrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let engine = Arc::new(engine);
+        let dim = engine.dim();
+        let max_batch = cfg.max_batch.max(1);
+        let workers_n = cfg.workers.max(1);
+
+        let (req_tx, req_rx) = channel::bounded::<Request>(cfg.queue_cap.max(1));
+        let (job_tx, job_rx) = channel::bounded::<Vec<Request>>(workers_n);
+
+        let batcher = {
+            let rx = req_rx.clone();
+            let flag = Arc::clone(&shutdown);
+            let max_delay = cfg.max_delay;
+            std::thread::Builder::new()
+                .name("gmp-serve-batcher".to_string())
+                .spawn(move || batcher_loop(&rx, &job_tx, &flag, max_batch, max_delay))
+                .expect("spawn batcher thread")
+        };
+        let workers = (0..workers_n)
+            .map(|i| {
+                let rx = job_rx.clone();
+                let engine = Arc::clone(&engine);
+                let metrics = Arc::clone(&metrics);
+                let score_delay = cfg.score_delay;
+                std::thread::Builder::new()
+                    .name(format!("gmp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &engine, &metrics, score_delay))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        drop(job_rx); // workers hold the only receiver clones
+
+        Server {
+            handle: ServeHandle {
+                tx: req_tx,
+                shutdown: Arc::clone(&shutdown),
+                metrics: Arc::clone(&metrics),
+                dim,
+                default_deadline: cfg.default_deadline,
+            },
+            req_rx,
+            shutdown,
+            metrics,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn metrics(&self) -> ServeReport {
+        self.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop admitting, **serve** everything already
+    /// queued, join all threads, and return the final counters.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // A submit that passed the admission check before the flag was set
+        // may have enqueued after the batcher's final empty-queue check;
+        // fail those explicitly rather than dropping them.
+        while let Ok(req) = self.req_rx.try_recv() {
+            self.metrics.note_failed();
+            req.resp.send(Err(ServeError::ShuttingDown));
+        }
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Stop admitting; the threads exit once the remaining handles (and
+        // with them the request senders) are gone.
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// How often the idle batcher wakes to check the shutdown flag.
+const IDLE_TICK: Duration = Duration::from_millis(20);
+
+fn batcher_loop(
+    rx: &Receiver<Request>,
+    job_tx: &Sender<Vec<Request>>,
+    shutdown: &AtomicBool,
+    max_batch: usize,
+    max_delay: Duration,
+) {
+    loop {
+        let first = match rx.recv_timeout(IDLE_TICK) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) && rx.is_empty() {
+                    return; // drained — drop job_tx, workers wind down
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = Vec::with_capacity(max_batch);
+        batch.push(first);
+        while batch.len() < max_batch {
+            // Drain the backlog greedily — coalescing queued work never
+            // waits.
+            match rx.try_recv() {
+                Ok(r) => {
+                    batch.push(r);
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {}
+            }
+            // Idle queue: wait out the flush window for stragglers (but
+            // not during shutdown — drain as fast as possible).
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let flush_at = batch[0].enqueued + max_delay;
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            match rx.recv_timeout(flush_at - now) {
+                Ok(r) => batch.push(r),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if job_tx.send(batch).is_err() {
+            return; // all workers gone (can only happen on panic)
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Vec<Request>>,
+    engine: &PredictorEngine,
+    metrics: &ServeMetrics,
+    score_delay: Duration,
+) {
+    while let Ok(batch) = rx.recv() {
+        if !score_delay.is_zero() {
+            std::thread::sleep(score_delay);
+        }
+        score_batch(batch, engine, metrics);
+    }
+}
+
+fn score_batch(batch: Vec<Request>, engine: &PredictorEngine, metrics: &ServeMetrics) {
+    // Deadlines are checked at dequeue: a request that waited out its
+    // budget in the queue fails fast instead of wasting scoring work.
+    let now = Instant::now();
+    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
+    for req in batch {
+        if req.deadline.is_some_and(|d| now > d) {
+            metrics.note_expired();
+            req.resp.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(req);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let mut b = CsrBuilder::new(engine.dim().max(1));
+    for req in &live {
+        b.start_row();
+        for &(c, v) in &req.features {
+            b.push(c, v);
+        }
+    }
+    let x = b.finish();
+    match engine.predict_batch(&x) {
+        Ok(out) => {
+            metrics.note_batch(live.len(), out.report.sim_s);
+            let done = Instant::now();
+            for (i, req) in live.into_iter().enumerate() {
+                metrics.note_served(done.duration_since(req.enqueued));
+                let probabilities = out.probabilities.get(i).cloned().unwrap_or_default();
+                req.resp.send(Ok(Prediction {
+                    label: out.labels[i],
+                    probabilities,
+                }));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for req in live {
+                metrics.note_failed();
+                req.resp.send(Err(ServeError::Predict(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_features() {
+        assert!(validate_features(&[(0, 1.0), (3, 2.0)], 4).is_ok());
+        assert!(matches!(
+            validate_features(&[(4, 1.0)], 4),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(matches!(
+            validate_features(&[(2, 1.0), (2, 2.0)], 4),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(matches!(
+            validate_features(&[(1, 1.0), (0, 2.0)], 4),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(matches!(
+            validate_features(&[(0, f64::NAN)], 4),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(validate_features(&[], 4).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ServeError::Overloaded.to_string(),
+            "server overloaded (queue full)"
+        );
+        assert!(ServeError::BadInput("x".into()).to_string().contains("x"));
+    }
+}

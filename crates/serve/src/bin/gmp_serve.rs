@@ -1,0 +1,248 @@
+//! `gmp-serve` — long-lived TCP front-end for online MP-SVM inference.
+//!
+//! ```text
+//! gmp-serve [options] MODEL_FILE
+//!   --host H           bind address (default 127.0.0.1)
+//!   --port P           TCP port; 0 picks an ephemeral port (default 7878)
+//!   --backend B        scoring backend: libsvm | libsvm-omp | gpu-baseline
+//!                      | cmp | gmp | gmp-v100 (default gmp)
+//!   --threads N        host threads per scoring call (default auto)
+//!   --max-batch N      micro-batch size cap (default 32)
+//!   --max-delay-us D   flush window for partial batches (default 2000)
+//!   --queue N          request-queue capacity (default 1024)
+//!   --workers N        scoring worker threads (default 2)
+//!   --deadline-ms D    per-request deadline; 0 = none (default 0)
+//! ```
+//!
+//! Protocol (newline-delimited, one request per line — see
+//! `gmp_serve::proto`): LibSVM rows in, `label p1 … pk` out, `ERR <reason>`
+//! on failure; `STATS` returns one JSON line, `QUIT` closes the
+//! connection, `SHUTDOWN` drains the server and exits.
+//!
+//! The actual bind address is announced on stdout as
+//! `gmp-serve listening on HOST:PORT` so scripts (and the smoke test) can
+//! use `--port 0`.
+
+use gmp_serve::proto::{self, RequestLine};
+use gmp_serve::{PredictorEngine, ServeConfig, ServeHandle, Server};
+use gmp_svm::{Backend, MpSvmModel};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Opts {
+    model_path: String,
+    host: String,
+    port: u16,
+    backend: Backend,
+    threads: Option<usize>,
+    cfg: ServeConfig,
+}
+
+fn parse_opts<I: Iterator<Item = String>>(mut args: I) -> Result<Opts, String> {
+    let mut model_path = None;
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 7878u16;
+    let mut backend = Backend::gmp_default();
+    let mut threads = None;
+    let mut cfg = ServeConfig::default();
+
+    fn value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+        let v = v.ok_or_else(|| format!("{flag} requires a value"))?;
+        v.parse().map_err(|_| format!("bad value '{v}' for {flag}"))
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--host" => host = value("--host", args.next())?,
+            "--port" => port = value("--port", args.next())?,
+            "--backend" => {
+                let name: String = value("--backend", args.next())?;
+                backend = gmp_cli_parse_backend(&name)?;
+            }
+            "--threads" => threads = Some(value("--threads", args.next())?),
+            "--max-batch" => cfg.max_batch = value("--max-batch", args.next())?,
+            "--max-delay-us" => {
+                cfg.max_delay = Duration::from_micros(value("--max-delay-us", args.next())?)
+            }
+            "--queue" => cfg.queue_cap = value("--queue", args.next())?,
+            "--workers" => cfg.workers = value("--workers", args.next())?,
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms", args.next())?;
+                cfg.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            _ => {
+                if model_path.replace(arg).is_some() {
+                    return Err("exactly one MODEL_FILE expected".to_string());
+                }
+            }
+        }
+    }
+    if cfg.max_batch == 0 || cfg.queue_cap == 0 || cfg.workers == 0 {
+        return Err("--max-batch, --queue and --workers must be >= 1".to_string());
+    }
+    Ok(Opts {
+        model_path: model_path.ok_or("need MODEL_FILE")?,
+        host,
+        port,
+        backend,
+        threads,
+        cfg,
+    })
+}
+
+// A local copy of the CLI backend table (the cli crate also exposes one,
+// but serve must not depend on the offline tools).
+fn gmp_cli_parse_backend(name: &str) -> Result<Backend, String> {
+    Ok(match name {
+        "libsvm" => Backend::libsvm(),
+        "libsvm-omp" => Backend::libsvm_openmp(),
+        "gpu-baseline" => Backend::gpu_baseline_default(),
+        "cmp" => Backend::cmp_svm(),
+        "gmp" => Backend::gmp_default(),
+        "gmp-v100" => Backend::Gmp {
+            device: gmp_svm::DeviceConfig::tesla_v100(),
+            max_concurrent: 0,
+        },
+        other => {
+            return Err(format!(
+            "unknown backend '{other}' (libsvm | libsvm-omp | gpu-baseline | cmp | gmp | gmp-v100)"
+        ))
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gmp-serve: {e}");
+            eprintln!("usage: gmp-serve [options] MODEL_FILE (see --help in the crate docs)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let model_text = match std::fs::read_to_string(&opts.model_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gmp-serve: cannot read {}: {e}", opts.model_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match MpSvmModel::from_text(&model_text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("gmp-serve: {}: {e}", opts.model_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match PredictorEngine::new(model, opts.backend.clone(), opts.threads) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("gmp-serve: model rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "gmp-serve: model loaded ({} classes, dim {}, {} SVs, probability={}) on {}",
+        engine.classes(),
+        engine.dim(),
+        engine.model().n_sv(),
+        engine.has_probability(),
+        opts.backend.label(),
+    );
+
+    let listener = match TcpListener::bind((opts.host.as_str(), opts.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gmp-serve: cannot bind {}:{}: {e}", opts.host, opts.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    // Announced on stdout (and flushed) so callers using --port 0 can read
+    // the actual port.
+    println!("gmp-serve listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let server = Server::start(engine, opts.cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut conn_threads = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                let handle = server.handle();
+                let stop = Arc::clone(&stop);
+                let addr = local;
+                conn_threads.push(std::thread::spawn(move || {
+                    if serve_connection(s, &handle, &stop) {
+                        // SHUTDOWN received: wake the accept loop, which
+                        // blocks until one more connection arrives.
+                        let _ = TcpStream::connect(addr);
+                    }
+                }));
+            }
+            Err(e) => {
+                eprintln!("gmp-serve: accept failed: {e}");
+            }
+        }
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    let report = server.shutdown();
+    eprintln!("gmp-serve: final stats {}", proto::format_stats(&report));
+    ExitCode::SUCCESS
+}
+
+/// Handle one client connection; returns true when the client requested a
+/// whole-server shutdown.
+fn serve_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> bool {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("gmp-serve: [{peer}] cannot clone stream: {e}");
+            return false;
+        }
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client hung up mid-line
+        };
+        let reply = match proto::parse_line(&line) {
+            Ok(RequestLine::Empty) => continue,
+            Ok(RequestLine::Quit) => break,
+            Ok(RequestLine::Shutdown) => {
+                stop.store(true, Ordering::Release);
+                let _ = writeln!(writer, "OK shutting down");
+                return true;
+            }
+            Ok(RequestLine::Stats) => proto::format_stats(&handle.metrics()),
+            Ok(RequestLine::Predict(features)) => match handle.submit(features) {
+                Ok(p) => proto::format_prediction(&p),
+                Err(e) => proto::format_error(&e),
+            },
+            Err(e) => proto::format_error(&e),
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            break; // client hung up
+        }
+    }
+    false
+}

@@ -1,0 +1,168 @@
+//! Live serving counters, snapshotted into [`gmp_svm::ServeReport`].
+//!
+//! Counters are atomics so the submit path stays lock-free; only the
+//! latency / batch-size histograms take a (short) lock, and only workers
+//! and finished requests touch those.
+
+use gmp_svm::{LatencyHistogram, ServeReport};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram state behind the single metrics lock.
+#[derive(Default)]
+struct Hists {
+    latency: LatencyHistogram,
+    /// `batch_sizes[i]` counts batches of size `i+1`.
+    batch_sizes: Vec<u64>,
+    /// Simulated device-seconds consumed by scoring calls.
+    scoring_sim_s: f64,
+}
+
+/// Shared recorder for one [`crate::Server`].
+pub struct ServeMetrics {
+    started: Instant,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    rejected_overload: AtomicU64,
+    expired_deadline: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_rows: AtomicU64,
+    peak_queue_depth: AtomicUsize,
+    hists: Mutex<Hists>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh recorder; uptime counts from now.
+    pub fn new() -> Self {
+        ServeMetrics {
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            expired_deadline: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_rows: AtomicU64::new(0),
+            peak_queue_depth: AtomicUsize::new(0),
+            hists: Mutex::new(Hists::default()),
+        }
+    }
+
+    /// A request made it into the queue; `depth` is the queue depth right
+    /// after admission (tracked as a high-water mark).
+    pub fn note_accepted(&self, depth: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A request bounced off the full queue.
+    pub fn note_rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request missed its deadline before scoring.
+    pub fn note_expired(&self) {
+        self.expired_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request failed in scoring (or was flushed at shutdown).
+    pub fn note_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request was answered; `latency` is enqueue → response.
+    pub fn note_served(&self, latency: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.hists.lock().latency.record(latency);
+    }
+
+    /// One batch of `size` live rows was scored, costing `sim_s` seconds
+    /// on the simulated device.
+    pub fn note_batch(&self, size: usize, sim_s: f64) {
+        if size == 0 {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_rows.fetch_add(size as u64, Ordering::Relaxed);
+        let mut h = self.hists.lock();
+        if h.batch_sizes.len() < size {
+            h.batch_sizes.resize(size, 0);
+        }
+        h.batch_sizes[size - 1] += 1;
+        if sim_s.is_finite() && sim_s > 0.0 {
+            h.scoring_sim_s += sim_s;
+        }
+    }
+
+    /// Consistent snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> ServeReport {
+        let h = self.hists.lock();
+        ServeReport {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            expired_deadline: self.expired_deadline.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_rows: self.batched_rows.load(Ordering::Relaxed),
+            batch_size_hist: h.batch_sizes.clone(),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            latency: h.latency.clone(),
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            scoring_sim_s: h.scoring_sim_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_notes() {
+        let m = ServeMetrics::new();
+        m.note_accepted(3);
+        m.note_accepted(9);
+        m.note_accepted(5);
+        m.note_accepted(1);
+        m.note_rejected_overload();
+        m.note_served(Duration::from_micros(150));
+        m.note_served(Duration::from_micros(90));
+        m.note_expired();
+        m.note_batch(2, 0.001);
+        m.note_batch(2, 0.001);
+        m.note_batch(5, 0.002);
+        m.note_failed();
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 4);
+        assert_eq!(s.served, 2);
+        assert_eq!(s.rejected_overload, 1);
+        assert_eq!(s.expired_deadline, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.peak_queue_depth, 9);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batched_rows, 9);
+        assert_eq!(s.batch_size_hist, vec![0, 2, 0, 0, 1]);
+        assert!((s.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert!((s.scoring_sim_s - 0.004).abs() < 1e-12);
+        assert!((s.sim_throughput_rps() - 9.0 / 0.004).abs() < 1e-6);
+        assert_eq!(s.latency.count(), 2);
+        assert!(s.is_balanced());
+        assert!(s.uptime_s >= 0.0);
+    }
+
+    #[test]
+    fn zero_size_batches_are_ignored() {
+        let m = ServeMetrics::new();
+        m.note_batch(0, 1.0);
+        assert_eq!(m.snapshot().batches, 0);
+    }
+}

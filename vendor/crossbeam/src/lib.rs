@@ -1,11 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! This container has no crates.io access, so the workspace vendors the
-//! one piece of crossbeam it uses — `crossbeam::thread::scope` — as a thin
-//! wrapper over `std::thread::scope` (stable since Rust 1.63). The API
-//! shape matches crossbeam: the closure and each spawned thread receive a
-//! `&Scope`, `spawn` takes `FnOnce(&Scope) -> T`, and `scope` returns
-//! `Err` (instead of panicking) when an unjoined child thread panicked.
+//! pieces of crossbeam it uses:
+//!
+//! * `crossbeam::thread::scope` — a thin wrapper over `std::thread::scope`
+//!   (stable since Rust 1.63). The API shape matches crossbeam: the
+//!   closure and each spawned thread receive a `&Scope`, `spawn` takes
+//!   `FnOnce(&Scope) -> T`, and `scope` returns `Err` (instead of
+//!   panicking) when an unjoined child thread panicked.
+//! * `crossbeam::channel::bounded` — a bounded MPMC channel built on
+//!   `Mutex` + `Condvar`, with crossbeam's disconnect semantics (recv on
+//!   an empty channel whose senders are all gone fails; queued messages
+//!   survive sender drop). `bounded(0)` rendezvous channels are not
+//!   supported; callers need a capacity of at least 1.
 
 /// Scoped threads: borrow non-`'static` data from the spawning stack frame.
 pub mod thread {
@@ -94,6 +101,339 @@ pub mod thread {
                 s.spawn(|_| panic!("boom"));
             });
             assert!(r.is_err());
+        }
+    }
+}
+
+/// Bounded multi-producer multi-consumer channels (the `crossbeam-channel`
+/// API subset the workspace uses).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error of a blocking send: all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error of a non-blocking send attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// All receivers are gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error of a blocking receive: the channel is empty and all senders
+    /// are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error of a bounded-wait receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with nothing queued.
+        Timeout,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; cloneable. Dropping the last clone disconnects the
+    /// channel for receivers (once drained).
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half; cloneable. Dropping the last clone disconnects the
+    /// channel for senders.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    /// `cap` must be at least 1 (rendezvous channels are not supported by
+    /// this stand-in).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded(0) rendezvous channels are unsupported");
+        let shared = Arc::new(Shared {
+            cap,
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap.min(1024)),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is queued (or every receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.0.cap {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Queue the message only if there is room right now.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.queue.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or the channel is empty with all
+        /// senders gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Take a message only if one is queued right now.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Block until a message arrives, the senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.0.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake receivers parked on an empty queue so they observe
+                // the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders parked on a full queue so they observe the
+                // disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn try_send_full() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn disconnect_drains_then_errors() {
+            let (tx, rx) = bounded(4);
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_fails() {
+            let (tx, rx) = bounded(2);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (tx, rx) = bounded::<u32>(1);
+            let r = rx.recv_timeout(Duration::from_millis(10));
+            assert_eq!(r, Err(RecvTimeoutError::Timeout));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn blocking_send_unblocks_on_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(0).unwrap();
+            let t = std::thread::spawn(move || tx.send(1));
+            std::thread::sleep(Duration::from_millis(5));
+            assert_eq!(rx.recv(), Ok(0));
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = bounded(8);
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..25u64 {
+                            tx.send(p * 100 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let total: usize = consumers.into_iter().map(|c| c.join().unwrap().len()).sum();
+            assert_eq!(total, 100);
         }
     }
 }
