@@ -57,6 +57,7 @@ impl KernelRows for UncachedRows {
         let slot = *self
             .resident
             .get(&id)
+            // gmp:allow-panic — row residency is guaranteed by the preceding ensure(); absence is a solver bug, not caller input
             .unwrap_or_else(|| panic!("row {id} not in last ensure"));
         self.block.row(slot)
     }

@@ -58,7 +58,8 @@ fn run_arm(
             workers: 1,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start server");
     let start = Instant::now();
     std::thread::scope(|s| {
         for c in 0..CLIENTS {

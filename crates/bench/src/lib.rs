@@ -132,14 +132,17 @@ pub fn measure_on_with_threads(
     let outcome = MpSvmTrainer::new(params, backend.clone())
         .with_host_threads(host_threads)
         .train(&split.train)
+        // gmp:allow-panic — bench harness fails fast on setup errors
         .expect("training failed");
     let train_pred = outcome
         .model
         .predict(&split.train.x, backend)
+        // gmp:allow-panic — bench harness fails fast on setup errors
         .expect("train prediction failed");
     let test_pred = outcome
         .model
         .predict(&split.test.x, backend)
+        // gmp:allow-panic — bench harness fails fast on setup errors
         .expect("test prediction failed");
     Measurement {
         dataset: name.to_string(),
@@ -186,6 +189,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Where result TSVs are written so figure binaries can reuse table runs.
 pub fn results_dir() -> std::path::PathBuf {
     let p = std::path::PathBuf::from("target/gmp-results");
+    // gmp:allow-panic — bench harness fails fast on result-dir I/O errors
     std::fs::create_dir_all(&p).expect("create results dir");
     p
 }
@@ -224,6 +228,7 @@ pub fn write_tsv(path: &std::path::Path, ms: &[Measurement]) {
             m.host_threads
         );
     }
+    // gmp:allow-panic — bench harness fails fast on result-file I/O errors
     std::fs::write(path, out).expect("write results tsv");
 }
 
@@ -330,6 +335,7 @@ pub fn write_bench_json(path: &std::path::Path, bench: &str, ms: &[Measurement])
         out.push('\n');
     }
     out.push_str("  ]\n}\n");
+    // gmp:allow-panic — bench harness fails fast on result-file I/O errors
     std::fs::write(path, out).expect("write bench json");
 }
 

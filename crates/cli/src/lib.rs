@@ -108,8 +108,7 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<CommonOpts, Arg
                 backend = parse_backend(&name)?;
             }
             flag if flag.starts_with('-')
-                && flag.len() > 1
-                && !flag.chars().nth(1).unwrap().is_ascii_digit() =>
+                && flag.chars().nth(1).is_some_and(|c| !c.is_ascii_digit()) =>
             {
                 return Err(ArgError(format!("unknown flag '{flag}'")));
             }

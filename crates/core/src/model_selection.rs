@@ -71,10 +71,12 @@ impl GridSearch {
         }
         let best = points
             .iter()
-            .min_by(|a, b| a.cv_error.partial_cmp(&b.cv_error).expect("finite errors"))
+            .min_by(|a, b| a.cv_error.total_cmp(&b.cv_error))
+            // gmp:allow-panic — both grid axes are validated non-empty above,
+            // so at least one point was pushed.
             .expect("non-empty grid");
         let best_params = base.with_c(best.c).with_rbf(best.gamma);
-        points.sort_by(|a, b| a.cv_error.partial_cmp(&b.cv_error).expect("finite errors"));
+        points.sort_by(|a, b| a.cv_error.total_cmp(&b.cv_error));
         Ok((best_params, points))
     }
 }

@@ -98,6 +98,7 @@ pub fn train_one_class(params: OneClassParams, x: &CsrMatrix) -> OneClassModel {
         ReplacementPolicy::FifoBatch,
         None,
     )
+    // gmp:allow-panic — host-memory buffer cannot exhaust simulated device memory
     .expect("host buffer");
     let solver = BatchedSmoSolver::new(BatchedParams {
         base: SmoParams {

@@ -73,6 +73,7 @@ impl OvrModel {
                 ReplacementPolicy::FifoBatch,
                 None,
             )
+            // gmp:allow-panic — host-memory buffer cannot exhaust simulated device memory
             .expect("host buffer");
             let r = solver.solve(&y, &mut rows, &exec);
             let dec = decision_values_from_f(&r.f, &y, r.rho);
@@ -150,8 +151,10 @@ fn predict_ovr(
         let best = p
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i as u32)
+            // gmp:allow-panic — the model always has k >= 2 classes, so the
+            // probability vector is never empty.
             .expect("k >= 2");
         labels.push(best);
         probs.push(p);

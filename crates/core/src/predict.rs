@@ -83,6 +83,7 @@ impl MpSvmModel {
             Backend::CpuClassic { threads } | Backend::CpuBatched { threads } => Box::new(
                 CpuExecutor::new(HostConfig::xeon_e5_2640_v4(*threads as u32)),
             ),
+            // gmp:allow-panic — this match arm is only reached for GPU backends, which always carry a device
             _ => Box::new(Stream::new(device.clone().expect("gpu backend"), 1.0)),
         };
         let exec = &*exec;
@@ -147,6 +148,7 @@ impl MpSvmModel {
                 let dv = &decision_values[i];
                 let mut r = PairwiseProbs::new(k.max(2));
                 for (bi, b) in self.binaries.iter().enumerate() {
+                    // gmp:allow-panic — guarded: has_probability() was checked by the caller of this path
                     let sig = b.sigmoid.as_ref().expect("has_probability checked");
                     r.set(b.s as usize, b.t as usize, sigmoid_predict(dv[bi], sig));
                 }

@@ -169,6 +169,7 @@ impl KernelRows for MirroredRows {
             let row = self
                 .resident
                 .get(&twin)
+                // gmp:allow-panic — ensure() inserts twin rows pairwise, so the twin is resident
                 .expect("twin row resident after batch")
                 .clone();
             self.insert(id, row);
@@ -178,6 +179,7 @@ impl KernelRows for MirroredRows {
     fn row(&self, id: usize) -> &[f64] {
         self.resident
             .get(&id)
+            // gmp:allow-panic — row residency is guaranteed by the preceding ensure(); absence is a solver bug
             .unwrap_or_else(|| panic!("row {id} not resident"))
     }
 

@@ -348,6 +348,7 @@ impl MpSvmTrainer {
                 ReplacementPolicy::Lru,
                 None,
             )
+            // gmp:allow-panic — host-side fold buffer cannot exhaust simulated device memory
             .expect("host-side fold buffer needs no device memory");
             let r = ClassicSmoSolver::new(self.params.smo()).solve(&y_tr, &mut rows, exec);
             let test_x = sub.select_rows(&test_idx);
@@ -394,6 +395,7 @@ impl MpSvmTrainer {
             .iter()
             .map(|p| {
                 self.solve_classic_sub(grouped, offsets, p, &exec, host_threads, None)
+                    // gmp:allow-panic — CPU executor has no device memory to exhaust
                     .expect("CPU path cannot hit device errors")
             })
             .collect();
@@ -417,6 +419,7 @@ impl MpSvmTrainer {
         let layout = ClassLayout::new(offsets.to_vec());
         let store = Arc::new(
             SharedKernelStore::new(oracle, layout, shared_store_budget_bytes(grouped.n()), None)
+                // gmp:allow-panic — host-memory store cannot exhaust simulated device memory
                 .expect("host store needs no device memory"),
         );
         let solver = BatchedSmoSolver::new(self.params.batched());
@@ -576,9 +579,11 @@ impl MpSvmTrainer {
                         .collect();
                     handles
                         .into_iter()
+                        // gmp:allow-panic — propagating a worker-thread panic; swallowing it would hide the original failure
                         .flat_map(|h| h.join().expect("wave worker panicked"))
                         .collect::<Vec<_>>()
                 })
+                // gmp:allow-panic — propagating a worker-thread panic; swallowing it would hide the original failure
                 .expect("wave scope panicked");
                 for (pi, fit) in solved {
                     fits[pi] = Some(fit);
@@ -587,12 +592,14 @@ impl MpSvmTrainer {
             drop(ws_mems);
             let wave_max = wave
                 .iter()
+                // gmp:allow-panic — this wave just filled these slots
                 .map(|&pi| fits[pi].as_ref().expect("wave slot filled").sim_s)
                 .fold(0.0f64, f64::max);
             total_sim += wave_max;
         }
         let fits: Vec<BinaryFit> = fits
             .into_iter()
+            // gmp:allow-panic — every problem index is assigned to exactly one wave, so all slots are filled
             .map(|f| f.expect("all waves ran"))
             .collect();
         Ok((fits, total_sim, conc))

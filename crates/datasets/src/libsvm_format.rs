@@ -56,6 +56,7 @@ impl LibsvmStreamParser {
             return Ok(());
         }
         let mut parts = line.split_whitespace();
+        // gmp:allow-panic — guarded: the line was checked non-empty above
         let label_tok = parts.next().expect("non-empty line has a token");
         let label: f64 = label_tok.parse().map_err(|_| ParseError {
             line: self.lineno,
@@ -118,7 +119,7 @@ impl LibsvmStreamParser {
     pub fn finish(self, min_dim: usize) -> Dataset {
         // Densify labels: sort distinct values, map to 0..k.
         let mut distinct: Vec<f64> = self.raw_labels.clone();
-        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+        distinct.sort_by(f64::total_cmp);
         distinct.dedup();
         let label_map: HashMap<u64, u32> = distinct
             .iter()

@@ -30,6 +30,7 @@ where
             s.spawn(move |_| work(start..end));
         }
     })
+    // gmp:allow-panic — propagating a worker-thread panic; swallowing it would hide the original failure
     .expect("worker thread panicked");
 }
 
@@ -61,6 +62,7 @@ where
             });
         }
     })
+    // gmp:allow-panic — propagating a worker-thread panic; swallowing it would hide the original failure
     .expect("worker thread panicked");
     let mut acc = init;
     for p in partials.into_iter().flatten() {
@@ -109,6 +111,7 @@ where
             offset += take;
         }
     })
+    // gmp:allow-panic — propagating a worker-thread panic; swallowing it would hide the original failure
     .expect("worker thread panicked");
 }
 

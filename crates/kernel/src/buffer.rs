@@ -163,6 +163,7 @@ impl KernelBuffer {
         let slot = *self
             .slot_of
             .get(&id)
+            // gmp:allow-panic — documented `# Panics` contract of row
             .unwrap_or_else(|| panic!("row {id} not resident in kernel buffer"));
         &self.storage[slot * self.width..(slot + 1) * self.width]
     }
@@ -175,6 +176,7 @@ impl KernelBuffer {
         let slot = *self
             .slot_of
             .get(&id)
+            // gmp:allow-panic — documented `# Panics` contract of row_mut
             .unwrap_or_else(|| panic!("row {id} not resident in kernel buffer"));
         &mut self.storage[slot * self.width..(slot + 1) * self.width]
     }
@@ -210,6 +212,7 @@ impl KernelBuffer {
             self.evict_some(pinned);
         }
         for &id in ids {
+            // gmp:allow-panic — the eviction loop above guarantees a free slot
             let slot = self.free_slots.pop().expect("free slot");
             self.slot_of.insert(id, slot);
             self.id_of[slot] = id;
@@ -221,6 +224,37 @@ impl KernelBuffer {
         batch.clear();
         batch.extend_from_slice(ids);
         self.batches.push_back(batch);
+        self.audit_accounting();
+    }
+
+    /// `debug-invariants` audit: the slot ledger is exact — every slot is
+    /// either owned by exactly one resident row or free, and the forward
+    /// (`slot_of`) and reverse (`id_of`) maps agree. Compiled out unless
+    /// the `debug-invariants` feature is on.
+    fn audit_accounting(&self) {
+        gmp_sync::audit!({
+            assert_eq!(
+                self.slot_of.len() + self.free_slots.len(),
+                self.capacity,
+                "kernel buffer slot ledger out of balance: {} resident + {} free != {} slots",
+                self.slot_of.len(),
+                self.free_slots.len(),
+                self.capacity
+            );
+            for (&id, &slot) in &self.slot_of {
+                assert_eq!(
+                    self.id_of[slot], id,
+                    "reverse map disagrees at slot {slot}: slot_of says row {id}"
+                );
+            }
+            for &slot in &self.free_slots {
+                assert_eq!(
+                    self.id_of[slot],
+                    u32::MAX,
+                    "free slot {slot} still claims a row id"
+                );
+            }
+        });
     }
 
     fn evict_some(&mut self, pinned: &[u32]) {
@@ -236,6 +270,7 @@ impl KernelBuffer {
                 let mut evicted_any = false;
                 while !evicted_any {
                     let Some(mut batch) = self.batches.pop_front() else {
+                        // gmp:allow-panic — documented failure mode: the caller pinned every resident row
                         panic!("buffer full of pinned rows: eviction impossible");
                     };
                     batch.retain(|&id| {
@@ -258,6 +293,7 @@ impl KernelBuffer {
                 while let Some(batch) = self.held.pop() {
                     self.batches.push_front(batch);
                 }
+                self.audit_accounting();
             }
             ReplacementPolicy::Lru => {
                 let victim = self
@@ -266,6 +302,7 @@ impl KernelBuffer {
                     .filter(|id| !pinned.contains(id))
                     .min_by_key(|id| self.last_used.get(id).copied().unwrap_or(0))
                     .copied()
+                    // gmp:allow-panic — documented failure mode: the caller pinned every resident row
                     .expect("buffer full of pinned rows: eviction impossible");
                 self.evict_row(victim);
             }
@@ -292,6 +329,7 @@ impl KernelBuffer {
         self.id_of.fill(u32::MAX);
         self.free_slots.clear();
         self.free_slots.extend((0..self.capacity).rev());
+        self.audit_accounting();
     }
 }
 

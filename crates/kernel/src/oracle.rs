@@ -143,9 +143,8 @@ impl KernelOracle {
                 let src = data.row(r);
                 src.scatter(&mut scratch);
                 let norm_r = norms[r];
-                // Safety of the unsafe-free design: `split_rows` handed out
-                // disjoint `&mut` row slices via iterator, collected below.
-                // SAFETY: each `bi` belongs to exactly one chunk.
+                // SAFETY: chunks partition the index range, so each `bi`
+                // is dereferenced by exactly one worker thread.
                 let out_row = unsafe { rows_slices.row(bi) };
                 for (o, j) in out_row.iter_mut().zip(cols.clone()) {
                     let dot = data.row(j).dot_dense(&scratch);
@@ -243,7 +242,8 @@ impl KernelOracle {
                 let src = other.row(r);
                 src.scatter(&mut scratch);
                 let norm_r = other_norms[r];
-                // SAFETY: each `bi` belongs to exactly one chunk.
+                // SAFETY: chunks partition the index range, so each `bi`
+                // is dereferenced by exactly one worker thread.
                 let out_row = unsafe { rows_slices.row(bi) };
                 for (j, o) in out_row.iter_mut().enumerate() {
                     let dot = data.row(j).dot_dense(&scratch);
@@ -281,34 +281,82 @@ impl KernelOracle {
     }
 }
 
-/// Disjoint raw row pointers into a dense matrix, so worker threads can
-/// fill rows concurrently. Each index is dereferenced by exactly one chunk
-/// inside `parallel_for_chunks`, and the pointers never outlive the
-/// exclusive borrow of the matrix they were split from.
-struct RowPtrs(Vec<*mut [f64]>);
+/// Concurrent disjoint access to the first `nrows` rows of a dense matrix,
+/// so worker threads can fill rows in parallel. Row slices are derived on
+/// demand from a single base pointer (one `&mut` borrow of the whole
+/// buffer), and the `'a` lifetime pins the matrix's exclusive borrow for as
+/// long as any `RowPtrs` value exists — handing the matrix out again while
+/// workers hold row slices is a compile error, not UB.
+struct RowPtrs<'a> {
+    base: *mut f64,
+    ncols: usize,
+    nrows: usize,
+    /// `debug-invariants` audit ledger: which rows have been handed out
+    /// (empty and untouched when the feature is off).
+    handed: gmp_sync::Mutex<Vec<bool>>,
+    _borrow: std::marker::PhantomData<&'a mut [f64]>,
+}
 
-// SAFETY: the pointers reference disjoint rows of a matrix we hold an
-// exclusive borrow of for the duration of the parallel region, and each
-// row is written by exactly one worker.
-unsafe impl Send for RowPtrs {}
-unsafe impl Sync for RowPtrs {}
+// SAFETY: `RowPtrs` is a partition handle over a buffer exclusively
+// borrowed for `'a` (no other reference to it can exist while the value
+// lives). The raw base pointer is only read through `row`, whose contract
+// makes the handed-out `&mut` slices disjoint, so moving or sharing the
+// handle across threads cannot create aliasing that the single-threaded
+// use would not have.
+unsafe impl Send for RowPtrs<'_> {}
+// SAFETY: as above — `&RowPtrs` only exposes `row`, and the disjointness
+// contract of `row` (each index dereferenced by at most one thread) is
+// exactly the condition under which concurrent calls are sound.
+unsafe impl Sync for RowPtrs<'_> {}
 
-impl RowPtrs {
+impl RowPtrs<'_> {
+    /// Exclusive slice of row `i`.
+    ///
     /// # Safety
-    /// Caller must ensure each index is used by at most one thread.
+    /// Each index must be dereferenced by at most one thread over the
+    /// handle's lifetime (`parallel_for_chunks` guarantees this: chunks
+    /// partition the index range). Under `debug-invariants` a handout
+    /// ledger asserts the disjointness at runtime.
     #[allow(clippy::mut_from_ref)]
     unsafe fn row(&self, i: usize) -> &mut [f64] {
-        let p = self.0[i];
-        &mut *p
+        assert!(i < self.nrows, "row {i} out of split range {}", self.nrows);
+        gmp_sync::audit!({
+            let mut handed = self.handed.lock();
+            assert!(
+                !std::mem::replace(&mut handed[i], true),
+                "row {i} handed out twice — aliased concurrent write"
+            );
+        });
+        // SAFETY: `base` points at the live row-major buffer (the `'a`
+        // borrow keeps it alive and exclusive); row `i < nrows` spans
+        // `[i*ncols, (i+1)*ncols)`, in bounds because the source matrix
+        // has at least `nrows` rows (asserted in `split_rows`). Distinct
+        // `i` give non-overlapping ranges, and the caller contract makes
+        // every handed-out slice unique, so no `&mut` aliasing arises.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(i * self.ncols), self.ncols) }
     }
 }
 
-fn split_rows(m: &mut DenseMatrix, nrows: usize) -> RowPtrs {
-    let mut v = Vec::with_capacity(nrows);
-    for i in 0..nrows {
-        v.push(m.row_mut(i) as *mut [f64]);
+/// Partition the first `nrows` rows of `m` for concurrent filling. All row
+/// pointers derive from one `as_mut_slice` borrow — collecting
+/// `m.row_mut(i) as *mut _` per row instead would invalidate each earlier
+/// pointer under Stacked Borrows (every `row_mut` reborrows the whole
+/// buffer), which Miri rejects.
+fn split_rows(m: &mut DenseMatrix, nrows: usize) -> RowPtrs<'_> {
+    assert!(nrows <= m.nrows(), "cannot split more rows than exist");
+    let ncols = m.ncols();
+    let handed = gmp_sync::Mutex::new(if gmp_sync::AUDIT {
+        vec![false; nrows]
+    } else {
+        Vec::new()
+    });
+    RowPtrs {
+        base: m.as_mut_slice().as_mut_ptr(),
+        ncols,
+        nrows,
+        handed,
+        _borrow: std::marker::PhantomData,
     }
-    RowPtrs(v)
 }
 
 /// Run `f` with a zeroed scatter scratch of at least `ncols` values,

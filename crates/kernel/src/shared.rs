@@ -29,12 +29,19 @@
 //! while holding a shard lock — so the pair cannot deadlock. A thread that
 //! panics while owning a `Pending` marker would strand its waiters, but
 //! every compute path runs under a scope that propagates worker panics.
+//!
+//! Locks and condvars go through the `gmp-sync` shim, so under
+//! `--features loom` the single-flight protocol is exhaustively
+//! model-checked (see `tests/loom_shared.rs`). The statistics cell stays on
+//! plain `std` atomics on purpose: the counters are monotone telemetry read
+//! at quiescence, and keeping them outside the model keeps the explored
+//! state space focused on the lock/condvar protocol.
 
 use crate::oracle::KernelOracle;
 use crate::rows::{KernelRows, RowProviderStats};
 use gmp_gpusim::{Device, DeviceAlloc, DeviceError, Executor};
 use gmp_sparse::DenseMatrix;
-use parking_lot::{Condvar, Mutex};
+use gmp_sync::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,7 +77,8 @@ impl ClassLayout {
 
     /// Total number of instances.
     pub fn n(&self) -> usize {
-        *self.offsets.last().unwrap()
+        // `offsets` has at least two entries (checked in `new`).
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Global row range of class `c`.
@@ -388,7 +396,9 @@ impl SharedKernelStore {
     fn evict_one(&self, ev: &mut EvictState, protected_ids: &[usize]) -> bool {
         let mut scanned = 0;
         while scanned < ev.order.len() {
-            let key = ev.order.pop_front().expect("non-empty order queue");
+            let Some(key) = ev.order.pop_front() else {
+                break;
+            };
             scanned += 1;
             if protected_ids.iter().any(|&g| g as u32 == key.0) {
                 ev.order.push_back(key);
@@ -550,6 +560,9 @@ impl KernelRows for SharedRows {
     }
 
     fn row(&self, id: usize) -> &[f64] {
+        // gmp:allow-panic — documented `KernelRows::row` contract: callers
+        // must `ensure` the id first; a miss is a solver bug, not an input
+        // error (covered by the `row_panics_when_absent` test).
         self.resident
             .get(&id)
             .unwrap_or_else(|| panic!("row {id} not resident in shared working set"))

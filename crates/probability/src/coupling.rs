@@ -62,6 +62,26 @@ impl PairwiseProbs {
     }
 }
 
+/// `debug-invariants` audit: `p` must be a probability simplex point —
+/// every coordinate finite and in `[0, 1]`, coordinates summing to 1
+/// within `tol`. Compiled out unless the feature is on.
+#[allow(unused_variables)]
+fn audit_simplex(p: &[f64], tol: f64, who: &str) {
+    gmp_sync::audit!({
+        for (i, &v) in p.iter().enumerate() {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "{who}: p[{i}] = {v} is outside [0, 1]"
+            );
+        }
+        let sum: f64 = p.iter().sum();
+        assert!(
+            (sum - 1.0).abs() <= tol,
+            "{who}: probabilities sum to {sum}, not 1 (tol {tol})"
+        );
+    });
+}
+
 /// Solve Problem (14) in closed form: `p = Q⁻¹e / (eᵀQ⁻¹e)` via Gaussian
 /// elimination with partial pivoting (Equation 15). A small ridge is added
 /// when `Q` is numerically singular, as the paper prescribes.
@@ -93,6 +113,7 @@ pub fn couple_gaussian(r: &PairwiseProbs) -> Vec<f64> {
                     for v in p.iter_mut() {
                         *v /= s2;
                     }
+                    audit_simplex(&p, 1e-9, "couple_gaussian");
                     return p;
                 }
             }
@@ -175,6 +196,9 @@ pub fn couple_iterative(r: &PairwiseProbs) -> Vec<f64> {
             }
         }
     }
+    // The update preserves normalization only up to floating-point error,
+    // so the iterative path gets a looser simplex tolerance.
+    audit_simplex(&p, 1e-6, "couple_iterative");
     p
 }
 

@@ -23,6 +23,7 @@ pub fn log_loss(probabilities: &[Vec<f64>], labels: &[u32]) -> f64 {
         let py = p
             .get(y as usize)
             .copied()
+            // gmp:allow-panic — documented precondition: labels index into the probability vectors
             .expect("label out of range for probability vector");
         acc -= py.max(P_FLOOR).ln();
     }

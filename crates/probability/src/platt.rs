@@ -23,11 +23,20 @@ pub struct SigmoidParams {
 pub fn sigmoid_predict(decision_value: f64, params: &SigmoidParams) -> f64 {
     let f_apb = decision_value * params.a + params.b;
     // 1/(1+exp(f)) computed without overflow for either sign of f.
-    if f_apb >= 0.0 {
+    let p = if f_apb >= 0.0 {
         (-f_apb).exp() / (1.0 + (-f_apb).exp())
     } else {
         1.0 / (1.0 + f_apb.exp())
-    }
+    };
+    gmp_sync::audit!({
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "sigmoid_predict left [0, 1]: p = {p} for v = {decision_value}, A = {}, B = {}",
+            params.a,
+            params.b
+        );
+    });
+    p
 }
 
 /// Fit `(A, B)` on decision values and ±1 labels.
@@ -136,6 +145,12 @@ pub fn sigmoid_train(decision_values: &[f64], labels: &[f64]) -> SigmoidParams {
         }
     }
 
+    gmp_sync::audit!({
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "sigmoid_train produced non-finite parameters A = {a}, B = {b}"
+        );
+    });
     SigmoidParams {
         a,
         b,

@@ -20,16 +20,27 @@
 //! Every admitted request gets exactly one terminal outcome (served,
 //! expired, failed) — there is no silent-drop path, and
 //! [`gmp_svm::ServeReport::is_balanced`] checks the ledger.
+//!
+//! Shutdown is close-based: [`Server::shutdown`] stops admission and then
+//! *closes* the request channel, so concurrent submits fail fast while the
+//! batcher keeps draining — its final `recv` errors only once the queue is
+//! empty. Admission (`try_send`) and drain (`recv`) agree under one channel
+//! lock, making "accepted" and "will get a verdict" the same event.
+//!
+//! Every primitive here comes from [`gmp_sync`], so the whole lifecycle is
+//! model-checked by loom (`tests/loom_batcher.rs`): the ledger balances and
+//! no admitted request is stranded under any explored interleaving of
+//! submitters, batcher, workers, and shutdown.
 
 use crate::engine::PredictorEngine;
 use crate::metrics::ServeMetrics;
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use gmp_sparse::CsrBuilder;
 use gmp_svm::ServeReport;
+use gmp_sync::atomic::{AtomicBool, Ordering};
+use gmp_sync::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use gmp_sync::thread::{spawn_named, JoinHandle};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Knobs of the micro-batching loop.
@@ -243,8 +254,9 @@ pub struct Server {
 impl Server {
     /// Start serving `engine` with `cfg`. Threads run until
     /// [`Server::shutdown`] (or until the server and every handle are
-    /// dropped).
-    pub fn start(engine: PredictorEngine, cfg: ServeConfig) -> Server {
+    /// dropped). Fails only when the OS refuses to spawn a thread; the
+    /// already-spawned threads then wind down as the channels drop.
+    pub fn start(engine: PredictorEngine, cfg: ServeConfig) -> std::io::Result<Server> {
         let metrics = Arc::new(ServeMetrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let engine = Arc::new(engine);
@@ -259,10 +271,9 @@ impl Server {
             let rx = req_rx.clone();
             let flag = Arc::clone(&shutdown);
             let max_delay = cfg.max_delay;
-            std::thread::Builder::new()
-                .name("gmp-serve-batcher".to_string())
-                .spawn(move || batcher_loop(&rx, &job_tx, &flag, max_batch, max_delay))
-                .expect("spawn batcher thread")
+            spawn_named("gmp-serve-batcher", move || {
+                batcher_loop(&rx, &job_tx, &flag, max_batch, max_delay)
+            })?
         };
         let workers = (0..workers_n)
             .map(|i| {
@@ -270,15 +281,14 @@ impl Server {
                 let engine = Arc::clone(&engine);
                 let metrics = Arc::clone(&metrics);
                 let score_delay = cfg.score_delay;
-                std::thread::Builder::new()
-                    .name(format!("gmp-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &engine, &metrics, score_delay))
-                    .expect("spawn worker thread")
+                spawn_named(&format!("gmp-serve-worker-{i}"), move || {
+                    worker_loop(&rx, &engine, &metrics, score_delay)
+                })
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         drop(job_rx); // workers hold the only receiver clones
 
-        Server {
+        Ok(Server {
             handle: ServeHandle {
                 tx: req_tx,
                 shutdown: Arc::clone(&shutdown),
@@ -291,7 +301,7 @@ impl Server {
             metrics,
             batcher: Some(batcher),
             workers,
-        }
+        })
     }
 
     /// A new client handle.
@@ -306,35 +316,39 @@ impl Server {
 
     /// Graceful shutdown: stop admitting, **serve** everything already
     /// queued, join all threads, and return the final counters.
+    ///
+    /// Closing the request channel is what makes the drain promise hold:
+    /// concurrent `try_send`s fail with `Disconnected` (reported as
+    /// [`ServeError::ShuttingDown`], never counted as accepted), while
+    /// every request admitted before the close stays queued and the
+    /// batcher's final `recv` cannot error until it has drained them all.
     pub fn shutdown(mut self) -> ServeReport {
         self.shutdown.store(true, Ordering::Release);
+        self.req_rx.close();
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // A submit that passed the admission check before the flag was set
-        // may have enqueued after the batcher's final empty-queue check;
-        // fail those explicitly rather than dropping them.
-        while let Ok(req) = self.req_rx.try_recv() {
-            self.metrics.note_failed();
-            req.resp.send(Err(ServeError::ShuttingDown));
-        }
+        gmp_sync::audit!({
+            assert!(
+                self.req_rx.is_empty(),
+                "batcher exited with admitted requests still queued"
+            );
+        });
         self.metrics.snapshot()
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // Stop admitting; the threads exit once the remaining handles (and
-        // with them the request senders) are gone.
+        // Stop admitting and close the queue so both thread pools wind
+        // down promptly even when `shutdown` was never called.
         self.shutdown.store(true, Ordering::Release);
+        self.req_rx.close();
     }
 }
-
-/// How often the idle batcher wakes to check the shutdown flag.
-const IDLE_TICK: Duration = Duration::from_millis(20);
 
 fn batcher_loop(
     rx: &Receiver<Request>,
@@ -344,16 +358,10 @@ fn batcher_loop(
     max_delay: Duration,
 ) {
     loop {
-        let first = match rx.recv_timeout(IDLE_TICK) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::Acquire) && rx.is_empty() {
-                    return; // drained — drop job_tx, workers wind down
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
+        // Block until work arrives. `recv` errors only once the channel is
+        // closed (or every handle is gone) **and** the queue is drained, so
+        // returning here cannot strand an admitted request.
+        let Ok(first) = rx.recv() else { return };
         let mut batch = Vec::with_capacity(max_batch);
         batch.push(first);
         while batch.len() < max_batch {

@@ -171,7 +171,13 @@ fn main() -> ExitCode {
     println!("gmp-serve listening on {local}");
     let _ = std::io::stdout().flush();
 
-    let server = Server::start(engine, opts.cfg);
+    let server = match Server::start(engine, opts.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gmp-serve: cannot start serving threads: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let stop = Arc::new(AtomicBool::new(false));
 
     let mut conn_threads = Vec::new();

@@ -5,7 +5,7 @@
 //! and finished requests touch those.
 
 use gmp_svm::{LatencyHistogram, ServeReport};
-use parking_lot::Mutex;
+use gmp_sync::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 

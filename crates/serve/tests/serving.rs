@@ -54,7 +54,8 @@ fn microbatched_results_bitwise_match_offline_predict() {
             workers: 2,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start server");
 
     // 30 concurrent clients, 5 rows each: arrival order is arbitrary, so
     // rows land in different batches at different positions on every run —
@@ -99,7 +100,8 @@ fn backlog_actually_coalesces_into_batches() {
             score_delay: Duration::from_millis(15),
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start server");
     crossbeam::thread::scope(|s| {
         for i in 0..24usize {
             let handle = server.handle();
@@ -133,7 +135,8 @@ fn full_queue_rejects_with_overloaded_and_nothing_is_lost() {
             score_delay: Duration::from_millis(80),
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start server");
     let outcomes: Vec<Result<_, ServeError>> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..16usize)
             .map(|i| {
@@ -176,7 +179,8 @@ fn expired_deadline_fails_explicitly() {
             score_delay: Duration::from_millis(60),
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start server");
     let (slow, fast) = crossbeam::thread::scope(|s| {
         let handle = server.handle();
         let x = &data.x;
@@ -214,7 +218,8 @@ fn graceful_shutdown_drains_admitted_requests() {
             score_delay: Duration::from_millis(30),
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start server");
     let handle = server.handle();
     let results = crossbeam::thread::scope(|s| {
         let clients: Vec<_> = (0..8usize)
@@ -251,7 +256,7 @@ fn graceful_shutdown_drains_admitted_requests() {
 #[test]
 fn bad_input_is_rejected_before_admission() {
     let (model, _) = trained();
-    let server = Server::start(engine(model), ServeConfig::default());
+    let server = Server::start(engine(model), ServeConfig::default()).expect("start server");
     let handle = server.handle();
     // Feature index beyond the model's dimensionality.
     let err = handle.submit(vec![(99, 1.0)]).unwrap_err();
@@ -276,7 +281,7 @@ fn empty_feature_vector_is_served() {
         )
         .unwrap();
     assert!(offline.labels.is_empty());
-    let server = Server::start(engine(model), ServeConfig::default());
+    let server = Server::start(engine(model), ServeConfig::default()).expect("start server");
     let p = server.handle().submit(vec![]).unwrap();
     assert!((p.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-6);
     let report = server.shutdown();

@@ -158,6 +158,9 @@ impl BatchedSmoSolver {
         );
         let params = self.params.clamped_for(n);
         let eps = params.base.eps;
+        // Every pair update moves α_u and α_l by ±λy, so Σ y α is conserved
+        // from the warm start onward; the per-round audit holds it to that.
+        let y_alpha_target: f64 = y.iter().zip(alpha0).map(|(&yi, &a)| yi * a).sum();
 
         let mut alpha = alpha0.to_vec();
         let mut f: Vec<f64> = f_init.to_vec();
@@ -194,7 +197,7 @@ impl BatchedSmoSolver {
 
             // --- Select q new violators (sort f ascending; take from both
             // ends respecting I_u / I_l membership), keep previous rows.
-            order.sort_unstable_by(|&a, &b| f[a].partial_cmp(&f[b]).expect("f is finite"));
+            order.sort_unstable_by(|&a, &b| f[a].total_cmp(&f[b]));
             // Bitonic-sort-equivalent launch cost.
             let logn = (n.max(2) as f64).log2();
             exec.charge(KernelCost {
@@ -367,6 +370,7 @@ impl BatchedSmoSolver {
             sim.other_s += exec.elapsed() - s3;
 
             outer_rounds += 1;
+            audit_solver_state(y, &alpha, caps, &f, y_alpha_target);
             if !changed && fresh.is_empty() {
                 // Stalled: no new candidates and no inner progress.
                 break;
@@ -375,6 +379,7 @@ impl BatchedSmoSolver {
                 break;
             }
         }
+        audit_solver_state(y, &alpha, caps, &f, y_alpha_target);
 
         let rho = compute_rho_capped(y, &alpha, &f, caps);
         let objective = compute_objective(y, &alpha, &f);
@@ -393,6 +398,46 @@ impl BatchedSmoSolver {
             f,
         }
     }
+}
+
+/// `debug-invariants` audit of the solver state after an outer round:
+///
+/// - the box `0 ≤ α_i ≤ C_i` holds exactly (pair updates clip to it);
+/// - the equality constraint `Σ y α` is conserved from the warm start;
+/// - every optimality indicator is finite, and every instance still
+///   belongs to `I_u ∪ I_l` — an α nudged outside the box by a broken
+///   update drops out of both sets and is silently never selected again.
+///
+/// Compiled out unless the `debug-invariants` feature is on.
+#[allow(unused_variables)]
+fn audit_solver_state(y: &[f64], alpha: &[f64], caps: &[f64], f: &[f64], y_alpha_target: f64) {
+    gmp_sync::audit!({
+        for i in 0..alpha.len() {
+            assert!(
+                (0.0..=caps[i]).contains(&alpha[i]),
+                "alpha[{i}] = {} escaped the box [0, {}]",
+                alpha[i],
+                caps[i]
+            );
+            assert!(
+                f[i].is_finite(),
+                "indicator f[{i}] = {} is not finite",
+                f[i]
+            );
+            assert!(
+                in_upper(y[i], alpha[i], caps[i]) || in_lower(y[i], alpha[i], caps[i]),
+                "instance {i} (y={}, alpha={}) fell out of I_u and I_l",
+                y[i],
+                alpha[i]
+            );
+        }
+        let y_alpha: f64 = y.iter().zip(alpha).map(|(&yi, &a)| yi * a).sum();
+        let tol = 1e-9 * caps.iter().fold(1.0f64, |m, &c| m.max(c)) * alpha.len() as f64;
+        assert!(
+            (y_alpha - y_alpha_target).abs() <= tol,
+            "equality constraint drifted: sum y*alpha = {y_alpha}, expected {y_alpha_target}"
+        );
+    });
 }
 
 #[cfg(test)]

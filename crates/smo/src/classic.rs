@@ -121,7 +121,9 @@ impl ClassicSmoSolver {
                 sim.kernel_s += exec.elapsed() - sk;
                 continue;
             }
+            // gmp:allow-panic — guarded: the None case continues the loop above
             let u_ext = u_ext.expect("checked above");
+            // gmp:allow-panic — guarded: the None case continues the loop above
             let f_max = f_max.expect("checked above");
             let u = u_ext.index;
             let f_u = u_ext.value;

@@ -147,11 +147,12 @@ impl CsrMatrix {
         if indptr[0] != 0 {
             return Err(CsrError::BadIndptr("must start at 0".into()));
         }
-        if *indptr.last().unwrap() != indices.len() {
+        // indptr.len() == nrows + 1 >= 1 was just established.
+        if indptr[nrows] != indices.len() {
             return Err(CsrError::BadIndptr(format!(
                 "must end at nnz={} but ends at {}",
                 indices.len(),
-                indptr.last().unwrap()
+                indptr[nrows]
             )));
         }
         for w in indptr.windows(2) {
@@ -301,6 +302,42 @@ impl CsrMatrix {
             .collect()
     }
 
+    /// Transpose: the `ncols x nrows` matrix with rows and columns swapped.
+    ///
+    /// Counting sort over columns, `O(nnz + ncols)`. The result is built
+    /// directly (no re-validation): scanning rows in increasing order writes
+    /// strictly increasing row ids into each transposed row, and the
+    /// counting pass makes the new `indptr` exact by construction.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nrows = self.nrows();
+        debug_assert!(nrows <= u32::MAX as usize, "row ids must fit in u32");
+        let mut indptr = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            indptr[c + 1] += indptr[c];
+        }
+        let mut next = indptr.clone(); // next write slot per transposed row
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for row in 0..nrows {
+            let r = self.row(row);
+            for (&c, &v) in r.indices.iter().zip(r.values) {
+                let slot = next[c as usize];
+                indices[slot] = row as u32;
+                values[slot] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            ncols: nrows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
     /// Approximate heap footprint in bytes (used by the device-memory
     /// accounting when a dataset is "copied to the GPU").
     pub fn mem_bytes(&self) -> usize {
@@ -355,8 +392,8 @@ impl CsrBuilder {
     pub fn push(&mut self, col: u32, value: f64) {
         debug_assert!(!self.indptr.is_empty(), "start_row before push");
         debug_assert!((col as usize) < self.ncols, "column out of bounds");
-        if let Some(&last) = self.indices.last() {
-            if self.indices.len() > *self.indptr.last().unwrap() {
+        if let (Some(&last), Some(&row_start)) = (self.indices.last(), self.indptr.last()) {
+            if self.indices.len() > row_start {
                 debug_assert!(col > last, "columns must be strictly increasing");
             }
         }
@@ -381,6 +418,9 @@ impl CsrBuilder {
             self.indices,
             self.values,
         )
+        // gmp:allow-panic — the builder maintains every CSR invariant by
+        // construction (ordering is debug-asserted in push); a failure here
+        // is a CsrBuilder bug, not caller input, so re-validation panics.
         .expect("CsrBuilder produced invalid matrix")
     }
 }
@@ -507,6 +547,28 @@ mod tests {
             CsrMatrix::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]),
             Err(CsrError::BadIndptr(_))
         ));
+    }
+
+    #[test]
+    fn transpose_sample() {
+        let m = sample();
+        let t = m.transpose();
+        // [ 1 0 3 ]
+        // [ 0 0 4 ]
+        // [ 2 0 0 ]
+        assert_eq!(
+            t.to_dense(),
+            vec![
+                vec![1.0, 0.0, 3.0],
+                vec![0.0, 0.0, 4.0],
+                vec![2.0, 0.0, 0.0],
+            ]
+        );
+        assert_eq!(t.transpose(), m);
+        // Rows (former columns) stay sorted even with an empty column.
+        let e = CsrMatrix::empty(4).transpose();
+        assert_eq!(e.nrows(), 4);
+        assert_eq!(e.nnz(), 0);
     }
 
     #[test]

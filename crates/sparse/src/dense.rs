@@ -71,6 +71,14 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// The full backing slice (row-major), mutable. One borrow of the
+    /// whole buffer — the provenance root for row-splitting (deriving raw
+    /// row pointers from repeated `row_mut` calls instead would invalidate
+    /// each previous pointer under Stacked Borrows).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Reshape in place to `nrows x ncols`, zero-filled, reusing the
     /// backing allocation when it is large enough. This is the hot-path
     /// primitive behind allocation-free row scratch buffers: once grown to

@@ -72,6 +72,49 @@ proptest! {
     }
 
     #[test]
+    fn structural_invariants_hold(d in dense_matrix(8, 8)) {
+        // Column indices strictly increasing within each row, every index
+        // in bounds, and per-row extents consistent with the total nnz
+        // (i.e. the indptr array is monotone and ends at nnz).
+        let m = CsrMatrix::from_dense(&d, d[0].len());
+        let mut total = 0usize;
+        for i in 0..m.nrows() {
+            let r = m.row(i);
+            for w in r.indices.windows(2) {
+                prop_assert!(w[0] < w[1], "row {} not strictly sorted: {:?}", i, r.indices);
+            }
+            for &c in r.indices {
+                prop_assert!((c as usize) < m.ncols());
+            }
+            prop_assert_eq!(r.nnz(), m.row_nnz(i));
+            total += r.nnz();
+        }
+        prop_assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose(d in dense_matrix(7, 9)) {
+        let ncols = d[0].len();
+        let m = CsrMatrix::from_dense(&d, ncols);
+        let t = m.transpose();
+        prop_assert_eq!(t.nrows(), m.ncols());
+        prop_assert_eq!(t.ncols(), m.nrows());
+        prop_assert_eq!(t.nnz(), m.nnz());
+        let td = t.to_dense();
+        for i in 0..m.nrows() {
+            for j in 0..ncols {
+                prop_assert_eq!(td[j][i], d[i][j], "mismatch at ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(d in dense_matrix(8, 8)) {
+        let m = CsrMatrix::from_dense(&d, d[0].len());
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
     fn select_rows_preserves_content(d in dense_matrix(8, 5), seed in 0u64..1000) {
         let m = CsrMatrix::from_dense(&d, d[0].len());
         // Deterministic pseudo-random subset from the seed.

@@ -1,0 +1,319 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker
+//! (this container has no crates.io access), exposing the subset of its API
+//! this workspace uses:
+//!
+//! - [`model`] / [`model::Builder`] — run a closure under every explored
+//!   thread interleaving.
+//! - [`thread::spawn`] / [`thread::yield_now`] — scheduler-controlled threads.
+//! - [`sync::Mutex`], [`sync::Condvar`], [`sync::Arc`],
+//!   [`sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize}`].
+//!
+//! # How it works
+//!
+//! [`model`] repeatedly executes the closure, each time under a cooperative
+//! scheduler that serializes all controlled threads and picks, at every
+//! synchronization point, which runnable thread proceeds next (see
+//! `rt.rs`). The choice sequence is enumerated depth-first with backtracking
+//! until the space is exhausted or an iteration cap is hit, with a
+//! CHESS-style *preemption bound* (default 2) pruning schedules that need
+//! many involuntary context switches — the standard result being that most
+//! concurrency bugs manifest within two preemptions. Deadlocks (including
+//! lost wakeups: every thread blocked, none runnable) fail the model with
+//! the decision path that produced them.
+//!
+//! # Divergences from real loom
+//!
+//! - Atomics are explored at `SeqCst` only; weak-memory reorderings are not
+//!   modeled. The workspace's atomics are statistics counters and a
+//!   shutdown flag, none of which rely on relaxed-ordering subtleties for
+//!   correctness claims checked here (mutual exclusion does the publishing).
+//! - Exploration is bounded by `LOOM_MAX_ITERATIONS` (default 20 000) as
+//!   well as `LOOM_MAX_PREEMPTIONS` (default 2); hitting the iteration cap
+//!   prints a note and passes, like loom's `max_branches` cutoff.
+//! - Outside a `model()` run all primitives fall back to plain `std`
+//!   behavior, so `--features loom` builds still run non-model tests.
+
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+use std::panic::Location;
+use std::sync::{Arc, Once};
+
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic hook for loom-controlled threads: silence the default report
+/// (their panics are re-reported once, with the failing schedule, by
+/// `model()`) and record the failure into the runtime **before** unwinding
+/// starts, so every parked thread wakes, aborts out, and releases its
+/// locks — destructors running during this unwind may need them. Other
+/// threads keep the previous hook.
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_loom = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("loom-"));
+            if !in_loom {
+                prev(info);
+                return;
+            }
+            let msg = match info.location() {
+                Some(loc) => format!("{} at {loc}", payload_message(info.payload())),
+                None => payload_message(info.payload()),
+            };
+            rt::record_early_failure(&msg);
+        }));
+    });
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+pub mod model {
+    use super::*;
+
+    /// Configures a model-checking run (subset of loom's builder).
+    pub struct Builder {
+        /// Maximum involuntary context switches per schedule (CHESS bound).
+        pub preemption_bound: Option<usize>,
+        /// Maximum schedules to explore before declaring the run good enough.
+        pub max_iterations: Option<usize>,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder {
+                preemption_bound: None,
+                max_iterations: None,
+            }
+        }
+
+        /// Run `f` under every explored interleaving; panics on the first
+        /// failing schedule with the decision path that produced it.
+        #[track_caller]
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let caller = Location::caller();
+            install_quiet_hook();
+            assert!(
+                rt::current().is_none(),
+                "nested loom::model is not supported"
+            );
+            let preemption_bound = self
+                .preemption_bound
+                .unwrap_or_else(|| env_usize("LOOM_MAX_PREEMPTIONS", 2));
+            let max_iterations = self
+                .max_iterations
+                .unwrap_or_else(|| env_usize("LOOM_MAX_ITERATIONS", 20_000));
+            let log_every = env_usize("LOOM_LOG", 0);
+
+            let f = Arc::new(f);
+            let mut prefix: Vec<usize> = Vec::new();
+            let mut iterations = 0usize;
+            loop {
+                iterations += 1;
+                let rt = Arc::new(rt::Rt::new(prefix.clone(), preemption_bound));
+
+                let f2 = Arc::clone(&f);
+                let rt2 = Arc::clone(&rt);
+                let root = std::thread::Builder::new()
+                    .name("loom-main".to_string())
+                    .spawn(move || {
+                        rt::set_ctx(Arc::clone(&rt2), 0);
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f2()));
+                        rt2.thread_finished(0, out.err().map(|p| payload_message(&*p)));
+                    })
+                    .expect("spawn loom root thread");
+
+                // The iteration is over when every controlled thread —
+                // including ones the closure spawned and never joined — has
+                // finished; the scheduler may still be running some of them
+                // after thread 0 exits.
+                {
+                    let mut st = rt
+                        .state
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    while st.live > 0 {
+                        st = rt
+                            .cv
+                            .wait(st)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                }
+                let _ = root.join();
+
+                let (failure, decisions) = {
+                    let st = rt
+                        .state
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    (st.failure.clone(), st.decisions.clone())
+                };
+                if let Some(msg) = failure {
+                    let path: Vec<usize> = decisions.iter().map(|&(c, _)| c).collect();
+                    panic!(
+                        "loom model failure at {caller} (iteration {iterations}, \
+                         schedule {path:?}): {msg}"
+                    );
+                }
+                if log_every > 0 && iterations.is_multiple_of(log_every) {
+                    eprintln!("loom: {iterations} schedules explored at {caller}");
+                }
+
+                // Depth-first advance: bump the deepest decision that still
+                // has an untried alternative; drop everything after it.
+                let mut choices = decisions;
+                let mut advanced = false;
+                while let Some((chosen, n_options)) = choices.pop() {
+                    if chosen + 1 < n_options {
+                        prefix = choices.iter().map(|&(c, _)| c).collect();
+                        prefix.push(chosen + 1);
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    if log_every > 0 {
+                        eprintln!("loom: space exhausted after {iterations} schedules at {caller}");
+                    }
+                    return;
+                }
+                if iterations >= max_iterations {
+                    eprintln!(
+                        "loom: iteration cap {max_iterations} reached at {caller} \
+                         (set LOOM_MAX_ITERATIONS to explore further)"
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Run `f` under every explored thread interleaving with default bounds.
+#[track_caller]
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn finds_atomic_increment_race() {
+        // load-then-store is racy; the model must find the lost update.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = Arc::clone(&n);
+                        super::thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("join");
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2);
+            });
+        });
+        assert!(found.is_err(), "model missed the lost-update interleaving");
+    }
+
+    #[test]
+    fn mutex_increment_is_race_free() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        *n.lock() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("join");
+            }
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn finds_lost_wakeup_as_deadlock() {
+        // An unconditional wait with a lock-free notify: in the schedule
+        // where the notify lands before the wait, the wakeup is lost and
+        // every thread blocks — the model must report the deadlock.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let p2 = Arc::clone(&pair);
+                let waiter = super::thread::spawn(move || {
+                    let (m, cv) = &*p2;
+                    let mut g = m.lock();
+                    // BUG under test: no predicate guards the wait.
+                    cv.wait(&mut g);
+                });
+                pair.1.notify_one();
+                waiter.join().expect("join");
+            });
+        });
+        assert!(found.is_err(), "model missed the lost wakeup");
+    }
+
+    #[test]
+    fn condvar_handoff_with_predicate_loop_passes() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let consumer = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut slot = m.lock();
+                while *slot == 0 {
+                    cv.wait(&mut slot);
+                }
+                *slot
+            });
+            let (m, cv) = &*pair;
+            {
+                let mut slot = m.lock();
+                *slot = 7;
+            }
+            cv.notify_all();
+            assert_eq!(consumer.join().expect("join"), 7);
+        });
+    }
+}

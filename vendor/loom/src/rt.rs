@@ -1,0 +1,371 @@
+//! The model-checking runtime: a cooperative scheduler that serializes all
+//! controlled threads and enumerates their interleavings depth-first.
+//!
+//! Exactly one controlled thread holds the "active token" at any moment; all
+//! others are parked on the runtime condvar. Every synchronization operation
+//! (lock, unlock, condvar wait/notify, atomic access, spawn, join, explicit
+//! yield) is a *decision point*: the active thread hands the token to the
+//! scheduler, which picks the next runnable thread. The sequence of picks is
+//! recorded; after the iteration completes, the deepest decision with an
+//! untried alternative is advanced and the closure re-runs with that prefix
+//! replayed. A CHESS-style preemption bound keeps the space tractable:
+//! schedules with more than `preemption_bound` involuntary context switches
+//! are pruned (voluntary switches — blocking, finishing — are always free).
+//!
+//! If at any decision point no thread is runnable but some are still live,
+//! the schedule is a deadlock (this is also what catches lost wakeups) and
+//! the iteration fails; failures are reported by `model()` with the decision
+//! path that produced them.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind parked threads once the model has already
+/// failed elsewhere; filtered out of failure reporting.
+pub(crate) const ABORT_MARKER: &str = "__loom_model_abort__";
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    /// Waiting to acquire the mutex at this address.
+    BlockedMutex(usize),
+    /// Waiting on a condvar (will reacquire `mutex` once notified).
+    BlockedCondvar {
+        cv: usize,
+        mutex: usize,
+    },
+    /// Waiting for the given thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+pub(crate) struct RtState {
+    pub(crate) threads: Vec<Status>,
+    /// Thread currently holding the active token.
+    pub(crate) active: usize,
+    /// Unfinished thread count; the iteration is over when this hits zero.
+    pub(crate) live: usize,
+    /// Choices to replay from the previous iteration (decision indices).
+    prefix: Vec<usize>,
+    /// (chosen index, number of options) at each decision point this run.
+    pub(crate) decisions: Vec<(usize, usize)>,
+    depth: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    pub(crate) failure: Option<String>,
+    /// Model-level mutex ownership, keyed by the mutex's address.
+    mutex_owner: HashMap<usize, usize>,
+}
+
+pub(crate) struct Rt {
+    pub(crate) state: StdMutex<RtState>,
+    pub(crate) cv: StdCondvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The runtime handle + thread id of the calling thread, if it is a
+/// loom-controlled thread inside an active `model()` run.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(rt: Arc<Rt>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+/// Record a model failure at panic time — called from the panic hook,
+/// *before* the panicking thread starts unwinding. Waking every parked
+/// thread here matters: destructors that run during the unwind may need
+/// raw locks currently held by parked threads, which only release them by
+/// aborting out once they observe the failure.
+pub(crate) fn record_early_failure(msg: &str) {
+    if msg.contains(ABORT_MARKER) {
+        return;
+    }
+    if let Some((rt, _tid)) = current() {
+        let mut st = lock_poison_free(&rt.state);
+        if st.failure.is_none() {
+            st.failure = Some(msg.to_string());
+        }
+        drop(st);
+        rt.cv.notify_all();
+    }
+}
+
+fn lock_poison_free(m: &StdMutex<RtState>) -> StdMutexGuard<'_, RtState> {
+    // A controlled thread can panic (failed assertion) while another thread
+    // is about to touch runtime state; poisoning is irrelevant to us.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Rt {
+    pub(crate) fn new(prefix: Vec<usize>, preemption_bound: usize) -> Self {
+        Rt {
+            state: StdMutex::new(RtState {
+                threads: vec![Status::Runnable],
+                active: 0,
+                live: 1,
+                prefix,
+                decisions: Vec::new(),
+                depth: 0,
+                preemptions: 0,
+                preemption_bound,
+                failure: None,
+                mutex_owner: HashMap::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Record a decision and hand the active token to the chosen thread.
+    /// Called with the state lock held by the thread relinquishing control
+    /// (`prev`), which may have just blocked or finished.
+    fn pick_next(&self, st: &mut RtState, prev: usize) {
+        if st.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let mut options: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == Status::Runnable)
+            .collect();
+        if options.is_empty() {
+            if st.live > 0 {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !matches!(s, Status::Finished))
+                    .map(|(t, s)| format!("thread {t}: {s:?}"))
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: {} thread(s) blocked with no runnable thread [{}]",
+                    st.live,
+                    stuck.join(", ")
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Put `prev` first so choice 0 is "keep running" and depth-first
+        // search explores the preemption-free schedule first.
+        let prev_runnable = st.threads[prev] == Status::Runnable;
+        if prev_runnable {
+            options.retain(|&t| t != prev);
+            options.insert(0, prev);
+            if st.preemptions >= st.preemption_bound {
+                options.truncate(1);
+            }
+        }
+        let choice = if st.depth < st.prefix.len() {
+            // Replay is deterministic, so the recorded choice is in range;
+            // clamp defensively rather than corrupt the search on a bug.
+            st.prefix[st.depth].min(options.len() - 1)
+        } else {
+            0
+        };
+        st.decisions.push((choice, options.len()));
+        st.depth += 1;
+        let next = options[choice];
+        if prev_runnable && next != prev {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Park until this thread is granted the active token (runnable + chosen).
+    /// Panics with [`ABORT_MARKER`] if the model fails in the meantime so the
+    /// thread unwinds out of user code and lets the iteration finish.
+    fn park_until_active(&self, mut st: StdMutexGuard<'_, RtState>, tid: usize) {
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ABORT_MARKER);
+            }
+            if st.active == tid && st.threads[tid] == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// A plain decision point: offer the scheduler a chance to switch.
+    /// During an unwind this is a no-op — destructor code must pass
+    /// straight through rather than re-enter the scheduler (and possibly
+    /// panic again, which would abort the process).
+    pub(crate) fn yield_point(&self, tid: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = lock_poison_free(&self.state);
+        self.pick_next(&mut st, tid);
+        self.park_until_active(st, tid);
+    }
+
+    /// Acquire the model-level mutex at `addr`, blocking (in model time)
+    /// while another thread owns it. The leading yield lets the scheduler
+    /// interleave *before* the acquisition.
+    pub(crate) fn mutex_lock(&self, tid: usize, addr: usize) {
+        self.yield_point(tid);
+        self.mutex_acquire(tid, addr);
+    }
+
+    fn mutex_acquire(&self, tid: usize, addr: usize) {
+        if std::thread::panicking() {
+            // Unwinding cleanup bypasses model ownership; the caller's raw
+            // lock still provides real mutual exclusion, and the early
+            // failure record (panic hook) has every parked owner aborting
+            // out and releasing it.
+            return;
+        }
+        loop {
+            let mut st = lock_poison_free(&self.state);
+            match st.mutex_owner.get(&addr) {
+                None => {
+                    st.mutex_owner.insert(addr, tid);
+                    return;
+                }
+                Some(&owner) if owner == tid => {
+                    st.failure = Some(format!(
+                        "thread {tid} recursively locked the mutex at {addr:#x}"
+                    ));
+                    self.cv.notify_all();
+                    drop(st);
+                    std::panic::panic_any(ABORT_MARKER);
+                }
+                Some(_) => {
+                    st.threads[tid] = Status::BlockedMutex(addr);
+                    self.pick_next(&mut st, tid);
+                    self.park_until_active(st, tid);
+                    // Woken runnable: retry (another thread may have taken it).
+                }
+            }
+        }
+    }
+
+    /// Release the model-level mutex at `addr` and yield. Runs from guard
+    /// drops, so it must stay silent while a panic is already unwinding.
+    pub(crate) fn mutex_unlock(&self, tid: usize, addr: usize) {
+        let unwinding = std::thread::panicking();
+        let mut st = lock_poison_free(&self.state);
+        st.mutex_owner.remove(&addr);
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Status::BlockedMutex(addr) {
+                st.threads[t] = Status::Runnable;
+            }
+        }
+        if unwinding {
+            // The thread root will record the failure and hand off control.
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, tid);
+        self.park_until_active(st, tid);
+    }
+
+    /// Atomically release `mutex` and block on `cv`; once notified, reacquire
+    /// `mutex` before returning (condvar contract).
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: usize, mutex: usize) {
+        if std::thread::panicking() {
+            // Returning without blocking is a legal spurious wakeup; the
+            // unwinding caller re-checks its predicate and keeps unwinding.
+            return;
+        }
+        {
+            let mut st = lock_poison_free(&self.state);
+            st.mutex_owner.remove(&mutex);
+            for t in 0..st.threads.len() {
+                if st.threads[t] == Status::BlockedMutex(mutex) {
+                    st.threads[t] = Status::Runnable;
+                }
+            }
+            st.threads[tid] = Status::BlockedCondvar { cv, mutex };
+            self.pick_next(&mut st, tid);
+            self.park_until_active(st, tid);
+        }
+        self.mutex_acquire(tid, mutex);
+    }
+
+    /// Wake waiters of `cv`: all of them, or the lowest-numbered one (a
+    /// deterministic legal refinement of "some waiter").
+    pub(crate) fn condvar_notify(&self, tid: usize, cv: usize, all: bool) {
+        if std::thread::panicking() {
+            // Model waiters are already being woken by the failure record;
+            // an unwinding notifier must not re-enter the scheduler.
+            return;
+        }
+        let mut st = lock_poison_free(&self.state);
+        for t in 0..st.threads.len() {
+            if matches!(st.threads[t], Status::BlockedCondvar { cv: c, .. } if c == cv) {
+                st.threads[t] = Status::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+        self.pick_next(&mut st, tid);
+        self.park_until_active(st, tid);
+    }
+
+    /// Register a new controlled thread; it starts runnable but only runs
+    /// once the scheduler picks it.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock_poison_free(&self.state);
+        let tid = st.threads.len();
+        st.threads.push(Status::Runnable);
+        st.live += 1;
+        tid
+    }
+
+    /// First thing a freshly spawned controlled thread does: wait for its
+    /// first scheduling slot.
+    pub(crate) fn wait_until_scheduled(&self, tid: usize) {
+        let st = lock_poison_free(&self.state);
+        self.park_until_active(st, tid);
+    }
+
+    /// Block until `target` finishes (then the real `join` reaps its value).
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        if std::thread::panicking() {
+            // The real `join` that follows still blocks until the target —
+            // woken by the failure record — aborts out and finishes.
+            return;
+        }
+        self.yield_point(tid);
+        let mut st = lock_poison_free(&self.state);
+        if st.threads[target] != Status::Finished {
+            st.threads[tid] = Status::BlockedJoin(target);
+            self.pick_next(&mut st, tid);
+            self.park_until_active(st, tid);
+        }
+    }
+
+    /// Mark a controlled thread finished, recording its panic (if any) as the
+    /// model failure, waking joiners, and handing off the active token.
+    pub(crate) fn thread_finished(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = lock_poison_free(&self.state);
+        st.threads[tid] = Status::Finished;
+        st.live -= 1;
+        if let Some(msg) = panic_msg {
+            if st.failure.is_none() && msg != ABORT_MARKER {
+                st.failure = Some(msg);
+            }
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Status::BlockedJoin(tid) {
+                st.threads[t] = Status::Runnable;
+            }
+        }
+        if st.live == 0 {
+            // Iteration complete; wake the model() driver.
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, tid);
+        // No park: this thread is done.
+    }
+}

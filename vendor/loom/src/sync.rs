@@ -1,0 +1,289 @@
+//! Model-aware synchronization primitives.
+//!
+//! Inside a `model()` run every operation is a scheduler decision point and
+//! mutual exclusion / wakeups are arbitrated by the model runtime; outside a
+//! run the types degrade to plain `std::sync` behavior, so code paths shared
+//! between model tests and normal execution keep working.
+//!
+//! All threads touching these primitives during a model run must be spawned
+//! through [`crate::thread::spawn`] — foreign `std` threads are invisible to
+//! the scheduler and would be serialized incorrectly.
+
+use crate::rt;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub use std::sync::Arc;
+
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: Option<(Arc<rt::Rt>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(t),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match rt::current() {
+            None => MutexGuard {
+                lock: self,
+                inner: Some(self.raw_lock()),
+                model: None,
+            },
+            Some((rt, tid)) => {
+                rt.mutex_lock(tid, self.addr());
+                MutexGuard {
+                    lock: self,
+                    inner: Some(self.raw_lock()),
+                    model: Some((rt, tid)),
+                }
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Take the std lock. In a model run the runtime has already granted
+    /// exclusive ownership, so this never contends (only one controlled
+    /// thread executes at a time); poisoning from a failed iteration is
+    /// deliberately ignored.
+    fn raw_lock(&self) -> StdMutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((rt, tid)) = self.model.take() {
+            rt.mutex_unlock(tid, self.lock.addr());
+        }
+    }
+}
+
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
+    /// Block until notified, releasing the guarded mutex while waiting
+    /// (parking_lot-style `&mut guard` signature).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.model.clone() {
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|p| p.into_inner()));
+            }
+            Some((rt, tid)) => {
+                let mutex_addr = guard.lock.addr();
+                drop(guard.inner.take());
+                rt.condvar_wait(tid, self.addr(), mutex_addr);
+                guard.inner = Some(guard.lock.raw_lock());
+            }
+        }
+    }
+
+    /// Timed wait. Under the model there is no clock: every timed wait
+    /// behaves as if the timeout elapsed immediately (returns `true`), but
+    /// the lock is released across scheduling points so other threads can
+    /// interleave — i.e. the model explores the "waiter timed out" schedules
+    /// and relies on untimed `wait` for wakeup-delivery coverage. Outside a
+    /// model run this is a real `std` timed wait.
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, dur: std::time::Duration) -> bool {
+        match guard.model.clone() {
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                let (inner, res) = self
+                    .inner
+                    .wait_timeout(inner, dur)
+                    .unwrap_or_else(|p| p.into_inner());
+                guard.inner = Some(inner);
+                res.timed_out()
+            }
+            Some((rt, tid)) => {
+                let mutex_addr = guard.lock.addr();
+                drop(guard.inner.take());
+                rt.mutex_unlock(tid, mutex_addr);
+                rt.mutex_lock(tid, mutex_addr);
+                guard.inner = Some(guard.lock.raw_lock());
+                true
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.inner.notify_one(),
+            Some((rt, tid)) => rt.condvar_notify(tid, self.addr(), false),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.inner.notify_all(),
+            Some((rt, tid)) => rt.condvar_notify(tid, self.addr(), true),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+pub mod atomic {
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn hook() {
+        if let Some((rt, tid)) = rt::current() {
+            rt.yield_point(tid);
+        }
+    }
+
+    // All operations run SeqCst under the model regardless of the requested
+    // ordering: the stand-in explores interleavings, not weak memory.
+    macro_rules! atomic_common {
+        ($prim:ty) => {
+            pub fn load(&self, _order: Ordering) -> $prim {
+                hook();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, val: $prim, _order: Ordering) {
+                hook();
+                self.inner.store(val, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, val: $prim, _order: Ordering) -> $prim {
+                hook();
+                self.inner.swap(val, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                hook();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+        };
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ty, $prim:ty) => {
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    $name {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                atomic_common!($prim);
+
+                pub fn fetch_add(&self, val: $prim, _order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_add(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, val: $prim, _order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_sub(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_max(&self, val: $prim, _order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_max(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_min(&self, val: $prim, _order: Ordering) -> $prim {
+                    hook();
+                    self.inner.fetch_min(val, Ordering::SeqCst)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$prim>::default())
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        atomic_common!(bool);
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Model-aware thread spawn/join. Inside a `model()` run, spawned threads
+//! become scheduler-controlled participants; outside, plain `std::thread`.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+pub struct JoinHandle<T> {
+    /// `Some` when the thread is model-controlled.
+    model: Option<(Arc<rt::Rt>, usize)>,
+    inner: std::thread::JoinHandle<Option<T>>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => {
+            let inner = std::thread::Builder::new()
+                .spawn(move || Some(f()))
+                .expect("spawn thread");
+            JoinHandle { model: None, inner }
+        }
+        Some((rt, spawner)) => {
+            let tid = rt.register_thread();
+            let rt2 = Arc::clone(&rt);
+            let inner = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    rt::set_ctx(Arc::clone(&rt2), tid);
+                    rt2.wait_until_scheduled(tid);
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            rt2.thread_finished(tid, None);
+                            Some(v)
+                        }
+                        Err(payload) => {
+                            rt2.thread_finished(tid, Some(crate::payload_message(&payload)));
+                            None
+                        }
+                    }
+                })
+                .expect("spawn loom thread");
+            // Registering the thread is itself a decision point: the child
+            // may run before the spawner's next operation.
+            rt.yield_point(spawner);
+            JoinHandle {
+                model: Some((rt, tid)),
+                inner,
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((rt, tid)) = &self.model {
+            if let Some((_, me)) = rt::current() {
+                rt.join_wait(me, *tid);
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("loom-controlled thread panicked")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Offer the scheduler an explicit interleaving point.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some((rt, tid)) => rt.yield_point(tid),
+    }
+}

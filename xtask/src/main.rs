@@ -1,0 +1,424 @@
+//! Workspace automation driver, following the cargo-xtask convention.
+//!
+//! `cargo xtask check` runs the workspace's static-analysis gauntlet:
+//!
+//! 1. **SAFETY-comment lint** — every `unsafe` keyword in first-party
+//!    source must have an adjacent `// SAFETY:` (or `# Safety` doc
+//!    section) within the preceding lines, so each unsafe block carries
+//!    its proof obligation next to it.
+//! 2. **Panic ban** — `.unwrap()` / `.expect(...)` / `panic!` /
+//!    `unreachable!` / `todo!` / `unimplemented!` are banned in library
+//!    code paths. Binaries (`src/bin`, `src/main.rs`), integration
+//!    tests, benches, and `#[cfg(test)]` modules are exempt. A violation
+//!    can be waived with an adjacent `// gmp:allow-panic — reason`
+//!    comment, which makes every remaining panic site a reviewed one.
+//! 3. **Clippy** with `-D warnings` over the whole workspace.
+//! 4. **rustfmt** in check mode.
+//!
+//! Source lints scan `crates/*/src` only — vendored stand-ins under
+//! `vendor/` are third-party API shims, not first-party library code.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("check") => {
+            let rest: Vec<&str> = it.collect();
+            let skip_cargo = rest.contains(&"--skip-cargo");
+            if let Some(bad) = rest.iter().find(|a| **a != "--skip-cargo") {
+                eprintln!("xtask check: unknown flag {bad}");
+                return ExitCode::FAILURE;
+            }
+            check(skip_cargo)
+        }
+        _ => {
+            eprintln!(
+                "usage: cargo xtask check [--skip-cargo]\n\
+                 \n\
+                 check        run source lints (SAFETY comments, panic ban),\n\
+                 \x20            clippy -D warnings, and rustfmt --check\n\
+                 --skip-cargo source lints only (no clippy/fmt subprocesses)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(skip_cargo: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+
+    let files = rust_sources(&root.join("crates"));
+    for file in &files {
+        let Ok(src) = std::fs::read_to_string(file) else {
+            eprintln!("xtask: cannot read {}", file.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
+        violations.extend(lint_safety_comments(&rel, &src));
+        if is_library_path(&rel) {
+            violations.extend(lint_panic_ban(&rel, &src));
+        }
+    }
+
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    let mut failed = !violations.is_empty();
+    println!(
+        "xtask: source lints over {} files: {} violation(s)",
+        files.len(),
+        violations.len()
+    );
+
+    if !skip_cargo && !failed {
+        failed |= !run(
+            &root,
+            "clippy -D warnings",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        );
+        failed |= !run(&root, "rustfmt check", &["fmt", "--all", "--check"]);
+    }
+
+    if failed {
+        eprintln!("xtask check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask check: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run(root: &Path, what: &str, cargo_args: &[&str]) -> bool {
+    println!("xtask: running cargo {}", cargo_args.join(" "));
+    match Command::new("cargo")
+        .args(cargo_args)
+        .current_dir(root)
+        .status()
+    {
+        Ok(st) if st.success() => true,
+        Ok(st) => {
+            eprintln!("xtask: {what} failed ({st})");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot spawn cargo for {what}: {e}");
+            false
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask/ sits directly under the workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+/// All `.rs` files under `dir`, recursively, in stable order.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Library code (panic ban applies): under some `src/`, but not a binary
+/// root (`src/main.rs`, `src/bin/**`) and not tests/benches/examples.
+fn is_library_path(rel: &Path) -> bool {
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let in_src = parts.contains(&"src");
+    let exempt_dir = ["bin", "tests", "benches", "examples"]
+        .iter()
+        .any(|d| parts.contains(d));
+    let is_main = parts.last() == Some(&"main.rs");
+    in_src && !exempt_dir && !is_main
+}
+
+struct Violation {
+    file: PathBuf,
+    line: usize, // 1-based
+    rule: &'static str,
+    excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// Strip a trailing `// ...` line comment, approximately string-aware: `//`
+/// inside a string literal does not start a comment.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Per-line mask of code that is compiled into the library proper:
+/// `false` for lines inside `#[cfg(test)]`-gated items.
+fn non_test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![true; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim();
+        if t.starts_with("#[") && t.contains("cfg(test") {
+            // Mask from the attribute through the gated item: either a
+            // braced block (match braces) or a single line ending in `;`.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = false;
+                let code = strip_line_comment(lines[j]);
+                for b in code.bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                if opened && depth == 0 {
+                    break;
+                }
+                if !opened && code.trim_end().ends_with(';') {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const WAIVER: &str = "gmp:allow-panic";
+
+/// How many lines above a violation may carry its waiver / SAFETY comment.
+const ADJACENT: usize = 6;
+
+fn lint_panic_ban(file: &Path, src: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mask = non_test_mask(&lines);
+    let mut out = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if !mask[idx] {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        if !PANIC_PATTERNS.iter().any(|p| code.contains(p)) {
+            continue;
+        }
+        let waived = (idx.saturating_sub(ADJACENT)..=idx).any(|k| lines[k].contains(WAIVER));
+        if !waived {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: "panic-ban",
+                excerpt: format!(
+                    "panicking call in library code (waive with `// {WAIVER} — reason`): {}",
+                    raw.trim()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `line[i..]` starts the keyword `unsafe` at a word boundary.
+fn unsafe_keyword_at(line: &str, i: usize) -> bool {
+    let bytes = line.as_bytes();
+    let end = i + "unsafe".len();
+    if !line[i..].starts_with("unsafe") {
+        return false;
+    }
+    let pre_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+    let post_ok = end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+    pre_ok && post_ok
+}
+
+fn has_unsafe_keyword(code: &str) -> bool {
+    code.char_indices()
+        .any(|(i, c)| c == 'u' && unsafe_keyword_at(code, i))
+}
+
+fn lint_safety_comments(file: &Path, src: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = strip_line_comment(raw);
+        let t = code.trim();
+        // Comments and attributes (e.g. `#![deny(unsafe_code)]`) are not
+        // unsafe code sites.
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+            continue;
+        }
+        if !has_unsafe_keyword(code) {
+            continue;
+        }
+        let documented = (idx.saturating_sub(ADJACENT)..=idx)
+            .any(|k| lines[k].contains("SAFETY:") || lines[k].contains("# Safety"));
+        if !documented {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: "undocumented-unsafe",
+                excerpt: format!(
+                    "`unsafe` without an adjacent `// SAFETY:` comment: {}",
+                    raw.trim()
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panics(src: &str) -> usize {
+        lint_panic_ban(Path::new("x.rs"), src).len()
+    }
+
+    fn unsafes(src: &str) -> usize {
+        lint_safety_comments(Path::new("x.rs"), src).len()
+    }
+
+    #[test]
+    fn flags_bare_unwrap_and_friends() {
+        assert_eq!(panics("let x = foo().unwrap();"), 1);
+        assert_eq!(panics("let x = foo().expect(\"m\");"), 1);
+        assert_eq!(panics("panic!(\"boom\");"), 1);
+        assert_eq!(panics("unreachable!()"), 1);
+        assert_eq!(panics("unreachable!(\"why\");"), 1);
+        assert_eq!(panics("todo!(\"later\")"), 1);
+    }
+
+    #[test]
+    fn ignores_non_panicking_lookalikes() {
+        assert_eq!(panics("let x = foo().unwrap_or(0);"), 0);
+        assert_eq!(panics("let x = foo().unwrap_or_else(|| 1);"), 0);
+        assert_eq!(panics("let x = r.expect_err(\"m\");"), 0);
+    }
+
+    #[test]
+    fn waiver_suppresses_within_adjacent_lines() {
+        let src = "// gmp:allow-panic — invariant upheld by construction\nfoo().unwrap();";
+        assert_eq!(panics(src), 0);
+        let same_line = "foo().unwrap(); // gmp:allow-panic — reviewed";
+        assert_eq!(panics(same_line), 0);
+        let far = format!("// gmp:allow-panic\n{}foo().unwrap();", "\n".repeat(10));
+        assert_eq!(panics(&far), 1, "waiver too far away must not apply");
+    }
+
+    #[test]
+    fn commented_out_code_is_not_flagged() {
+        assert_eq!(panics("// foo().unwrap();"), 0);
+        assert_eq!(panics("let url = \"https://x?a=b\"; foo().unwrap();"), 1);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { foo().unwrap(); }
+}
+";
+        assert_eq!(panics(src), 0);
+        let gated_fn = "#[cfg(test)]\nfn helper() { foo().unwrap() }\nfn lib() { x.unwrap(); }";
+        assert_eq!(panics(gated_fn), 1, "only the ungated unwrap counts");
+    }
+
+    #[test]
+    fn unsafe_requires_adjacent_safety_comment() {
+        assert_eq!(unsafes("let p = unsafe { *ptr };"), 1);
+        assert_eq!(
+            unsafes("// SAFETY: ptr is valid for reads\nlet p = unsafe { *ptr };"),
+            0
+        );
+        assert_eq!(unsafes("let p = unsafe { *ptr }; // SAFETY: valid"), 0);
+    }
+
+    #[test]
+    fn unsafe_lint_ignores_comments_attrs_and_identifiers() {
+        assert_eq!(unsafes("// unsafe is mentioned here"), 0);
+        assert_eq!(unsafes("#![deny(unsafe_op_in_unsafe_fn)]"), 0);
+        assert_eq!(unsafes("let unsafe_count = 3;"), 0);
+        assert_eq!(
+            unsafes("/// # Safety\n/// caller upholds X\npub unsafe fn f() {}"),
+            0
+        );
+    }
+
+    #[test]
+    fn library_path_classification() {
+        assert!(is_library_path(Path::new("crates/serve/src/engine.rs")));
+        assert!(!is_library_path(Path::new(
+            "crates/serve/src/bin/gmp_serve.rs"
+        )));
+        assert!(!is_library_path(Path::new("crates/cli/src/main.rs")));
+        assert!(!is_library_path(Path::new("crates/serve/tests/serving.rs")));
+        assert!(!is_library_path(Path::new("crates/bench/benches/b.rs")));
+    }
+}
