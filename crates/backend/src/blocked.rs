@@ -1,0 +1,147 @@
+//! The cache-blocked backend: source rows are densified into a row-major
+//! panel, and each target row is streamed **once per panel** instead of
+//! once per source row.
+
+use crate::split::{split_rows, with_scatter_scratch};
+use crate::{cost, ComputeBackend, KernelContext};
+use gmp_gpusim::pool::parallel_for_chunks;
+use gmp_gpusim::Executor;
+use gmp_sparse::{CsrMatrix, DenseMatrix};
+use std::ops::Range;
+
+/// Panel budget: keep the densified source rows within ~4 MiB so the panel
+/// stays L2/L3-resident while a target row streams across it.
+const PANEL_BYTES: usize = 4 * 1024 * 1024;
+/// Diminishing returns past this many panel rows; also bounds the per-block
+/// output-slice table.
+const MAX_PANEL_ROWS: usize = 32;
+
+/// Cache-blocked backend: CSR working-set rows are mirrored into a
+/// row-major panel of densified rows; each target row's CSR entries are
+/// then gathered against every panel row while they are hot, fusing the
+/// dot product and the scalar kernel map.
+///
+/// Bit-identical to [`crate::ScalarBackend`]: a value is still "iterate the
+/// target row's stored entries in index order against a densified source
+/// row, then [`crate::KernelKind::eval`]" — blocking only reorders *which
+/// (source, target) pair* is computed when, never the summation within one
+/// pair.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockedBackend;
+
+impl ComputeBackend for BlockedBackend {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn batch_kernel_rows(
+        &self,
+        ctx: &KernelContext<'_>,
+        exec: &dyn Executor,
+        row_ids: &[usize],
+        cols: Range<usize>,
+        out: &mut DenseMatrix,
+    ) -> u64 {
+        assert!(out.nrows() >= row_ids.len(), "output row mismatch");
+        assert_eq!(out.ncols(), cols.len(), "output col mismatch");
+        if row_ids.is_empty() || cols.is_empty() {
+            return 0;
+        }
+        let evals = cost::charge_row_batch(ctx, exec, row_ids, cols.len() as u64);
+        fill_rows_blocked(ctx, ctx.data, row_ids, ctx.norms, cols, out);
+        evals
+    }
+
+    fn test_sv_matrix(
+        &self,
+        ctx: &KernelContext<'_>,
+        exec: &dyn Executor,
+        test: &CsrMatrix,
+        test_rows: &[usize],
+        test_norms: &[f64],
+        out: &mut DenseMatrix,
+    ) -> u64 {
+        let n = ctx.data.nrows();
+        assert!(out.nrows() >= test_rows.len(), "output row mismatch");
+        assert_eq!(out.ncols(), n, "output col mismatch");
+        assert_eq!(test.ncols(), ctx.data.ncols(), "dimension mismatch");
+        assert_eq!(test_norms.len(), test.nrows(), "norms must cover all rows");
+        if test_rows.is_empty() || n == 0 {
+            return 0;
+        }
+        let evals = cost::charge_cross_batch(ctx, exec, test, test_rows);
+        fill_rows_blocked(ctx, test, test_rows, test_norms, 0..n, out);
+        evals
+    }
+}
+
+/// Panel rows per block for a feature dimension of `ncols`.
+fn panel_rows(ncols: usize) -> usize {
+    (PANEL_BYTES / (ncols.max(1) * 8)).clamp(1, MAX_PANEL_ROWS)
+}
+
+/// Blocked fill of `out[bi][..] = K(src[src_rows[bi]], data[j])` for `j`
+/// in `cols`. Source rows are processed in panels of [`panel_rows`]: the
+/// panel is densified once, then the target loop runs *outside* the panel
+/// loop so each target row's CSR entries stream across all panel rows
+/// while hot.
+fn fill_rows_blocked(
+    ctx: &KernelContext<'_>,
+    src: &CsrMatrix,
+    src_rows: &[usize],
+    src_norms: &[f64],
+    cols: Range<usize>,
+    out: &mut DenseMatrix,
+) {
+    let data = ctx.data;
+    let kind = ctx.kind;
+    let norms = ctx.norms;
+    let ncols = data.ncols();
+    let b = panel_rows(ncols);
+    let rows_slices = split_rows(out, src_rows.len());
+    // The per-chunk body; `panel` is a zeroed `b * ncols` scratch each
+    // block scatters into and un-scatters out of.
+    let run = |chunk: Range<usize>, panel: &mut [f64]| {
+        // Fixed-size output-slice table (the panel is capped at
+        // MAX_PANEL_ROWS) so the steady-state hot path stays allocation-free.
+        let mut out_rows: [Option<&mut [f64]>; MAX_PANEL_ROWS] = [const { None }; MAX_PANEL_ROWS];
+        let mut block_start = chunk.start;
+        while block_start < chunk.end {
+            let block = block_start..(block_start + b).min(chunk.end);
+            block_start = block.end;
+            for (pi, bi) in block.clone().enumerate() {
+                let row = src.row(src_rows[bi]);
+                row.scatter(&mut panel[pi * ncols..(pi + 1) * ncols]);
+                // SAFETY: chunks partition the index range and blocks
+                // partition a chunk, so each `bi` is dereferenced by
+                // exactly one worker thread, exactly once per call.
+                out_rows[pi] = Some(unsafe { rows_slices.row(bi) });
+            }
+            for (jo, j) in cols.clone().enumerate() {
+                let target = data.row(j);
+                let norm_j = norms[j];
+                for (pi, bi) in block.clone().enumerate() {
+                    let dot = target.dot_dense(&panel[pi * ncols..(pi + 1) * ncols]);
+                    // Filled for every in-block `pi` just above.
+                    if let Some(out_row) = out_rows[pi].as_deref_mut() {
+                        out_row[jo] = kind.eval(dot, src_norms[src_rows[bi]], norm_j);
+                    }
+                }
+            }
+            for (pi, bi) in block.clone().enumerate() {
+                src.row(src_rows[bi])
+                    .clear_scatter(&mut panel[pi * ncols..(pi + 1) * ncols]);
+            }
+        }
+    };
+    if ctx.host_threads == 1 {
+        // Allocation-light path: thread-local zeroed scratch doubles as the
+        // panel (restored to zero by the per-block `clear_scatter`).
+        with_scatter_scratch(b * ncols, |scratch| run(0..src_rows.len(), scratch));
+        return;
+    }
+    parallel_for_chunks(ctx.host_threads, src_rows.len(), |chunk| {
+        let mut panel = vec![0.0; b * ncols];
+        run(chunk, &mut panel);
+    });
+}

@@ -1,0 +1,97 @@
+//! Disjoint parallel row access to a dense output matrix, plus the
+//! thread-local scatter scratch both backends densify source rows into.
+
+use gmp_sparse::DenseMatrix;
+
+/// Concurrent disjoint access to the first `nrows` rows of a dense matrix,
+/// so worker threads can fill rows in parallel. Row slices are derived on
+/// demand from a single base pointer (one `&mut` borrow of the whole
+/// buffer), and the `'a` lifetime pins the matrix's exclusive borrow for as
+/// long as any `RowPtrs` value exists — handing the matrix out again while
+/// workers hold row slices is a compile error, not UB.
+pub(crate) struct RowPtrs<'a> {
+    base: *mut f64,
+    ncols: usize,
+    nrows: usize,
+    /// `debug-invariants` audit ledger: which rows have been handed out
+    /// (empty and untouched when the feature is off).
+    handed: gmp_sync::Mutex<Vec<bool>>,
+    _borrow: std::marker::PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: `RowPtrs` is a partition handle over a buffer exclusively
+// borrowed for `'a` (no other reference to it can exist while the value
+// lives). The raw base pointer is only read through `row`, whose contract
+// makes the handed-out `&mut` slices disjoint, so moving or sharing the
+// handle across threads cannot create aliasing that the single-threaded
+// use would not have.
+unsafe impl Send for RowPtrs<'_> {}
+// SAFETY: as above — `&RowPtrs` only exposes `row`, and the disjointness
+// contract of `row` (each index dereferenced by at most one thread) is
+// exactly the condition under which concurrent calls are sound.
+unsafe impl Sync for RowPtrs<'_> {}
+
+impl RowPtrs<'_> {
+    /// Exclusive slice of row `i`.
+    ///
+    /// # Safety
+    /// Each index must be dereferenced by at most one thread over the
+    /// handle's lifetime (`parallel_for_chunks` guarantees this: chunks
+    /// partition the index range). Under `debug-invariants` a handout
+    /// ledger asserts the disjointness at runtime.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn row(&self, i: usize) -> &mut [f64] {
+        assert!(i < self.nrows, "row {i} out of split range {}", self.nrows);
+        gmp_sync::audit!({
+            let mut handed = self.handed.lock();
+            assert!(
+                !std::mem::replace(&mut handed[i], true),
+                "row {i} handed out twice — aliased concurrent write"
+            );
+        });
+        // SAFETY: `base` points at the live row-major buffer (the `'a`
+        // borrow keeps it alive and exclusive); row `i < nrows` spans
+        // `[i*ncols, (i+1)*ncols)`, in bounds because the source matrix
+        // has at least `nrows` rows (asserted in `split_rows`). Distinct
+        // `i` give non-overlapping ranges, and the caller contract makes
+        // every handed-out slice unique, so no `&mut` aliasing arises.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(i * self.ncols), self.ncols) }
+    }
+}
+
+/// Partition the first `nrows` rows of `m` for concurrent filling. All row
+/// pointers derive from one `as_mut_slice` borrow — collecting
+/// `m.row_mut(i) as *mut _` per row instead would invalidate each earlier
+/// pointer under Stacked Borrows (every `row_mut` reborrows the whole
+/// buffer), which Miri rejects.
+pub(crate) fn split_rows(m: &mut DenseMatrix, nrows: usize) -> RowPtrs<'_> {
+    assert!(nrows <= m.nrows(), "cannot split more rows than exist");
+    let ncols = m.ncols();
+    let handed = gmp_sync::Mutex::new(if gmp_sync::AUDIT {
+        vec![false; nrows]
+    } else {
+        Vec::new()
+    });
+    RowPtrs {
+        base: m.as_mut_slice().as_mut_ptr(),
+        ncols,
+        nrows,
+        handed,
+        _borrow: std::marker::PhantomData,
+    }
+}
+
+/// Run `f` with a zeroed scatter scratch of at least `ncols` values,
+/// reusing a thread-local buffer so steady-state callers never allocate.
+pub(crate) fn with_scatter_scratch<R>(ncols: usize, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if scratch.len() < ncols {
+            scratch.resize(ncols, 0.0);
+        }
+        f(&mut scratch)
+    })
+}

@@ -1,0 +1,104 @@
+//! Property test: the blocked backend matches the scalar backend on random
+//! sparse datasets, for every kernel kind, at every thread count — within
+//! 1e-12 relative tolerance (in practice bit-identical; the tolerance is
+//! the documented contract floor).
+
+use gmp_backend::{ComputeBackendKind, KernelContext, KernelKind};
+use gmp_gpusim::CpuExecutor;
+use gmp_sparse::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Random sparse dataset with deliberately nasty rows: empty rows and
+/// single-nnz rows are drawn with real probability mass.
+fn csr(nrows: std::ops::Range<usize>, ncols: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Empty row.
+            1 => Just(Vec::new()),
+            // Single-nnz row.
+            2 => (0..ncols, -3.0..3.0f64).prop_map(|(c, v)| vec![(c, v)]),
+            // General sparse row.
+            5 => proptest::collection::vec((0..ncols, -3.0..3.0f64), 1..6),
+        ],
+        nrows,
+    )
+    .prop_map(move |rows| {
+        let dense: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|entries| {
+                let mut row = vec![0.0; ncols];
+                for &(c, v) in entries {
+                    row[c] = v;
+                }
+                row
+            })
+            .collect();
+        CsrMatrix::from_dense(&dense, ncols)
+    })
+}
+
+fn kernel_kind() -> impl Strategy<Value = KernelKind> {
+    prop_oneof![
+        (0.05..2.0f64).prop_map(|gamma| KernelKind::Rbf { gamma }),
+        Just(KernelKind::Linear),
+        (0.1..1.5f64, -1.0..1.0f64, 2u32..4).prop_map(|(gamma, coef0, degree)| KernelKind::Poly {
+            gamma,
+            coef0,
+            degree
+        }),
+        (0.1..1.5f64, -1.0..1.0f64).prop_map(|(gamma, coef0)| KernelKind::Sigmoid { gamma, coef0 }),
+    ]
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    let denom = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() / denom <= 1e-12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matches_scalar_on_batch_rows(
+        data in csr(1..9, 7),
+        kind in kernel_kind(),
+        threads in 1usize..5,
+    ) {
+        let norms = data.row_norms_sq();
+        let n = data.nrows();
+        let ctx = KernelContext { data: &data, norms: &norms, kind, host_threads: threads };
+        let row_ids: Vec<usize> = (0..n).rev().collect();
+        let mut outs: Vec<DenseMatrix> = Vec::new();
+        for sel in ComputeBackendKind::ALL {
+            let mut out = DenseMatrix::zeros(n, n);
+            sel.instance().batch_kernel_rows(&ctx, &CpuExecutor::xeon(1), &row_ids, 0..n, &mut out);
+            outs.push(out);
+        }
+        let (scalar, blocked) = (&outs[0], &outs[1]);
+        for (a, b) in scalar.as_slice().iter().zip(blocked.as_slice()) {
+            prop_assert!(rel_close(*a, *b), "scalar={a} blocked={b} kind={kind:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_scalar_on_test_sv_matrix(
+        (data, test) in (csr(1..7, 6), csr(1..7, 6)),
+        kind in kernel_kind(),
+        threads in 1usize..4,
+    ) {
+        let norms = data.row_norms_sq();
+        let test_norms: Vec<f64> = (0..test.nrows()).map(|r| test.row(r).norm_sq()).collect();
+        let ctx = KernelContext { data: &data, norms: &norms, kind, host_threads: threads };
+        let rows: Vec<usize> = (0..test.nrows()).collect();
+        let mut outs: Vec<DenseMatrix> = Vec::new();
+        for sel in ComputeBackendKind::ALL {
+            let mut out = DenseMatrix::zeros(rows.len(), data.nrows());
+            sel.instance().test_sv_matrix(&ctx, &CpuExecutor::xeon(1), &test, &rows, &test_norms, &mut out);
+            outs.push(out);
+        }
+        let (scalar, blocked) = (&outs[0], &outs[1]);
+        for (a, b) in scalar.as_slice().iter().zip(blocked.as_slice()) {
+            prop_assert!(rel_close(*a, *b), "scalar={a} blocked={b} kind={kind:?}");
+        }
+    }
+}

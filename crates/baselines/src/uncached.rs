@@ -80,7 +80,7 @@ impl KernelRows for UncachedRows {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_gpusim::CpuExecutor;
     use gmp_kernel::KernelKind;
     use gmp_sparse::CsrMatrix;
 
@@ -93,7 +93,7 @@ mod tests {
     }
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     #[test]

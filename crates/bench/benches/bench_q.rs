@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmp_datasets::PaperDataset;
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_smo::{BatchedParams, BatchedSmoSolver, SmoParams};
 use std::sync::Arc;
@@ -25,7 +25,7 @@ fn bench_q(c: &mut Criterion) {
     for q in [8usize, 32, 64, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
             b.iter(|| {
-                let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+                let exec = CpuExecutor::xeon(1);
                 let mut rows =
                     BufferedRows::new(oracle.clone(), bs, ReplacementPolicy::FifoBatch, None)
                         .unwrap();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gmp_datasets::PaperDataset;
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::{KernelKind, KernelOracle};
 use gmp_sparse::DenseMatrix;
 use std::sync::Arc;
@@ -14,7 +14,7 @@ fn bench_rowbatch(c: &mut Criterion) {
         Arc::new(data.x.clone()),
         KernelKind::Rbf { gamma: 0.125 },
     ));
-    let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+    let exec = CpuExecutor::xeon(1);
     let n = data.n();
     let mut group = c.benchmark_group("rowbatch_per_row");
     group.sample_size(10);

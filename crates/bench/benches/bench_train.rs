@@ -4,12 +4,13 @@
 //! Besides the criterion timing loop, a `--bench` run writes the same
 //! machine-readable `BENCH_train.json` artifact as the `table3` binary
 //! (wall/sim seconds, kernel evals, rows computed per backend), including
-//! a GMP host-thread 1-vs-4 A/B, so perf is trackable across changes.
+//! a GMP host-thread 1-vs-4 A/B and a scalar-vs-blocked compute-backend
+//! A/B on Adult and MNIST, so perf is trackable across changes.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use gmp_bench::{measure_on_with_threads, write_bench_json, Measurement};
+use gmp_bench::{measure_on_with_threads, params_for, write_bench_json, Measurement};
 use gmp_datasets::PaperDataset;
-use gmp_svm::{Backend, MpSvmTrainer, SvmParams};
+use gmp_svm::{Backend, ComputeBackendKind, MpSvmTrainer, SvmParams};
 
 const SCALE: f64 = 0.002;
 
@@ -65,6 +66,24 @@ fn emit_bench_json() {
             measure_on_with_threads(&split, name, &Backend::gmp_default(), params, Some(threads));
         m.backend = format!("{} (host_threads={threads})", m.backend);
         ms.push(m);
+    }
+    // Compute-backend A/B: identical GMP training on Adult and MNIST
+    // stand-ins, scalar vs. blocked kernels. Bits (and therefore kernel
+    // evals / sim seconds) are equal by contract; the wall-clock columns
+    // are the comparison.
+    for (ds, scale) in [(PaperDataset::Adult, 0.02), (PaperDataset::Mnist, 0.008)] {
+        let split = ds.generate_split(scale);
+        let name = ds.spec().name;
+        for compute in ComputeBackendKind::ALL {
+            let m = measure_on_with_threads(
+                &split,
+                name,
+                &Backend::gmp_default(),
+                params_for(ds).with_compute_backend(compute),
+                Some(4),
+            );
+            ms.push(m);
+        }
     }
     let path = gmp_bench::bench_json_path();
     write_bench_json(&path, "bench_train", &ms);

@@ -19,6 +19,8 @@ pub struct Measurement {
     pub dataset: String,
     /// Backend label.
     pub backend: String,
+    /// Numeric compute backend the kernels ran on (`scalar` | `blocked`).
+    pub compute_backend: String,
     /// Simulated training seconds.
     pub train_sim_s: f64,
     /// Simulated prediction seconds.
@@ -129,6 +131,7 @@ pub fn measure_on_with_threads(
     params: SvmParams,
     host_threads: Option<usize>,
 ) -> Measurement {
+    let compute = params.compute_backend;
     let outcome = MpSvmTrainer::new(params, backend.clone())
         .with_host_threads(host_threads)
         .train(&split.train)
@@ -136,17 +139,18 @@ pub fn measure_on_with_threads(
         .expect("training failed");
     let train_pred = outcome
         .model
-        .predict(&split.train.x, backend)
+        .predict_with_compute_backend(&split.train.x, backend, compute)
         // gmp:allow-panic — bench harness fails fast on setup errors
         .expect("train prediction failed");
     let test_pred = outcome
         .model
-        .predict(&split.test.x, backend)
+        .predict_with_compute_backend(&split.test.x, backend, compute)
         // gmp:allow-panic — bench harness fails fast on setup errors
         .expect("test prediction failed");
     Measurement {
         dataset: name.to_string(),
         backend: backend.label(),
+        compute_backend: outcome.report.compute_backend.clone(),
         train_sim_s: outcome.report.sim_s,
         predict_sim_s: test_pred.report.sim_s,
         train_wall_s: outcome.report.wall_s,
@@ -206,14 +210,15 @@ pub fn write_tsv(path: &std::path::Path, ms: &[Measurement]) {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str(
-        "dataset\tbackend\ttrain_sim_s\tpredict_sim_s\ttrain_wall_s\tpredict_wall_s\ttrain_kevals\ttrain_rows\tpredict_kevals\ttrain_err\ttest_err\tbias\tconverged\thost_threads\n",
+        "dataset\tbackend\tcompute_backend\ttrain_sim_s\tpredict_sim_s\ttrain_wall_s\tpredict_wall_s\ttrain_kevals\ttrain_rows\tpredict_kevals\ttrain_err\ttest_err\tbias\tconverged\thost_threads\n",
     );
     for m in ms {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             m.dataset,
             m.backend,
+            m.compute_backend,
             m.train_sim_s,
             m.predict_sim_s,
             m.train_wall_s,
@@ -238,24 +243,25 @@ pub fn read_tsv(path: &std::path::Path) -> Option<Vec<Measurement>> {
     let mut out = Vec::new();
     for line in text.lines().skip(1) {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 14 {
+        if f.len() != 15 {
             return None;
         }
         out.push(Measurement {
             dataset: f[0].to_string(),
             backend: f[1].to_string(),
-            train_sim_s: f[2].parse().ok()?,
-            predict_sim_s: f[3].parse().ok()?,
-            train_wall_s: f[4].parse().ok()?,
-            predict_wall_s: f[5].parse().ok()?,
-            train_kernel_evals: f[6].parse().ok()?,
-            train_rows_computed: f[7].parse().ok()?,
-            predict_kernel_evals: f[8].parse().ok()?,
-            train_error: f[9].parse().ok()?,
-            test_error: f[10].parse().ok()?,
-            bias: f[11].parse().ok()?,
-            converged: f[12].parse().ok()?,
-            host_threads: f[13].parse().ok()?,
+            compute_backend: f[2].to_string(),
+            train_sim_s: f[3].parse().ok()?,
+            predict_sim_s: f[4].parse().ok()?,
+            train_wall_s: f[5].parse().ok()?,
+            predict_wall_s: f[6].parse().ok()?,
+            train_kernel_evals: f[7].parse().ok()?,
+            train_rows_computed: f[8].parse().ok()?,
+            predict_kernel_evals: f[9].parse().ok()?,
+            train_error: f[10].parse().ok()?,
+            test_error: f[11].parse().ok()?,
+            bias: f[12].parse().ok()?,
+            converged: f[13].parse().ok()?,
+            host_threads: f[14].parse().ok()?,
         });
     }
     Some(out)
@@ -310,13 +316,15 @@ pub fn write_bench_json(path: &std::path::Path, bench: &str, ms: &[Measurement])
         out.push_str("    {");
         let _ = write!(
             out,
-            "\"dataset\": \"{}\", \"backend\": \"{}\", \"host_threads\": {}, \
+            "\"dataset\": \"{}\", \"backend\": \"{}\", \"compute_backend\": \"{}\", \
+             \"host_threads\": {}, \
              \"train_wall_s\": {}, \"train_sim_s\": {}, \
              \"train_kernel_evals\": {}, \"train_rows_computed\": {}, \
              \"predict_wall_s\": {}, \"predict_sim_s\": {}, \
              \"predict_kernel_evals\": {}, \"test_error\": {}, \"converged\": {}",
             json_escape(&m.dataset),
             json_escape(&m.backend),
+            json_escape(&m.compute_backend),
             m.host_threads,
             json_f64(m.train_wall_s),
             json_f64(m.train_sim_s),
@@ -391,6 +399,7 @@ mod tests {
         let m = Measurement {
             dataset: "X".into(),
             backend: "B".into(),
+            compute_backend: "scalar".into(),
             train_sim_s: 1.5,
             predict_sim_s: 0.25,
             train_wall_s: 2.0,
@@ -409,6 +418,7 @@ mod tests {
         let back = read_tsv(&dir).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].dataset, "X");
+        assert_eq!(back[0].compute_backend, "scalar");
         assert_eq!(back[0].train_kernel_evals, 10);
         assert_eq!(back[0].train_rows_computed, 3);
         assert_eq!(back[0].host_threads, 4);
@@ -420,6 +430,7 @@ mod tests {
         let m = Measurement {
             dataset: "adult \"q\"".into(),
             backend: "gmp\\x".into(),
+            compute_backend: "blocked".into(),
             train_sim_s: 1.5,
             predict_sim_s: 0.25,
             train_wall_s: 2.0,
@@ -439,6 +450,7 @@ mod tests {
         assert!(text.contains("\"bench\": \"table3\""));
         assert!(text.contains("\"dataset\": \"adult \\\"q\\\"\""));
         assert!(text.contains("\"backend\": \"gmp\\\\x\""));
+        assert!(text.contains("\"compute_backend\": \"blocked\""));
         assert!(text.contains("\"host_threads\": 2"));
         assert!(text.contains("\"test_error\": null"));
         // Balanced braces/brackets => structurally sound for this flat shape.

@@ -3,6 +3,8 @@
 //! ```text
 //! gmp-predict [options] TEST_FILE MODEL_FILE [OUTPUT_FILE]
 //!   --backend B    execution backend (default gmp)
+//!   --compute-backend B    numeric backend: scalar | blocked
+//!                  (default: GMP_BACKEND env var, else scalar)
 //! ```
 //!
 //! Output: one line per instance — the predicted class followed by the
@@ -81,7 +83,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let pred = match model.predict(&data.x, &opts.backend) {
+    let pred = match model.predict_with_compute_backend(
+        &data.x,
+        &opts.backend,
+        opts.params.compute_backend,
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("gmp-predict: prediction failed: {e}");

@@ -11,6 +11,8 @@
 //!   --ws N --q N   GMP buffer size / new violators per round
 //!   --weight CLASS VALUE   per-class penalty multiplier (like -wi)
 //!   --backend B    libsvm | libsvm-omp | gpu-baseline | cmp | gmp | gmp-v100
+//!   --compute-backend B    numeric backend: scalar | blocked
+//!                  (default: GMP_BACKEND env var, else scalar)
 //! ```
 
 use gmp_cli::parse_args;

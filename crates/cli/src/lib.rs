@@ -5,7 +5,7 @@
 //! GMP-SVM buffer knobs (`--ws`, `--q`).
 
 use gmp_gpusim::DeviceConfig;
-use gmp_svm::{Backend, KernelKind, SvmParams};
+use gmp_svm::{Backend, ComputeBackendKind, KernelKind, SvmParams};
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -107,6 +107,14 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<CommonOpts, Arg
                 let name: String = parse_value("--backend", it.next())?;
                 backend = parse_backend(&name)?;
             }
+            "--compute-backend" => {
+                let name: String = parse_value("--compute-backend", it.next())?;
+                params.compute_backend = ComputeBackendKind::parse(&name).ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown compute backend '{name}' (scalar | blocked)"
+                    ))
+                })?;
+            }
             flag if flag.starts_with('-')
                 && flag.chars().nth(1).is_some_and(|c| !c.is_ascii_digit()) =>
             {
@@ -189,6 +197,25 @@ mod tests {
             "CMP-SVM (40t)"
         );
         assert!(parse("--backend warp9 x").is_err());
+    }
+
+    #[test]
+    fn compute_backend_selection() {
+        assert_eq!(
+            parse("--compute-backend blocked x")
+                .unwrap()
+                .params
+                .compute_backend,
+            ComputeBackendKind::Blocked
+        );
+        assert_eq!(
+            parse("--compute-backend Scalar x")
+                .unwrap()
+                .params
+                .compute_backend,
+            ComputeBackendKind::Scalar
+        );
+        assert!(parse("--compute-backend simd x").is_err());
     }
 
     #[test]

@@ -55,4 +55,4 @@ pub use trainer::{MpSvmTrainer, TrainError, TrainOutcome};
 // Re-exports for downstream convenience.
 pub use gmp_datasets::Dataset;
 pub use gmp_gpusim::{Device, DeviceConfig, HostConfig};
-pub use gmp_kernel::KernelKind;
+pub use gmp_kernel::{ComputeBackend, ComputeBackendKind, KernelKind};

@@ -8,7 +8,7 @@
 //! remainder, and we warm-start the batched solver from exactly that
 //! point.
 
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_smo::{BatchedParams, BatchedSmoSolver, SmoParams};
 use gmp_sparse::{CsrMatrix, DenseMatrix};
@@ -61,7 +61,7 @@ pub fn train_one_class(params: OneClassParams, x: &CsrMatrix) -> OneClassModel {
     let n = x.nrows();
     assert!(n >= 2, "need at least two instances");
     assert!(params.nu > 0.0 && params.nu <= 1.0, "nu must be in (0, 1]");
-    let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+    let exec = CpuExecutor::xeon(1);
     let oracle = Arc::new(KernelOracle::new(Arc::new(x.clone()), params.kernel));
 
     let cap = 1.0 / (params.nu * n as f64);
@@ -133,7 +133,7 @@ pub fn train_one_class(params: OneClassParams, x: &CsrMatrix) -> OneClassModel {
 impl OneClassModel {
     /// Decision values for every row of `test` (positive = inlier).
     pub fn decision_values(&self, test: &CsrMatrix) -> Vec<f64> {
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+        let exec = CpuExecutor::xeon(1);
         if test.nrows() == 0 || self.svs.nrows() == 0 {
             return vec![-self.rho; test.nrows()];
         }

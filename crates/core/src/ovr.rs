@@ -11,7 +11,7 @@
 use crate::params::SvmParams;
 use crate::predict::error_rate;
 use gmp_datasets::Dataset;
-use gmp_gpusim::{CpuExecutor, Executor, HostConfig};
+use gmp_gpusim::{CpuExecutor, Executor};
 use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_prob::{sigmoid_predict, sigmoid_train, SigmoidParams};
 use gmp_smo::{decision_values_for, decision_values_from_f, BatchedSmoSolver};
@@ -54,7 +54,7 @@ impl OvrModel {
     pub fn train(params: SvmParams, data: &Dataset) -> OvrModel {
         let k = data.n_classes();
         assert!(k >= 2, "need at least two classes");
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+        let exec = CpuExecutor::xeon(1);
         let x = Arc::new(data.x.clone());
         let oracle = Arc::new(KernelOracle::new(x.clone(), params.kernel));
         let solver = BatchedSmoSolver::new(params.batched());
@@ -107,7 +107,7 @@ impl OvrModel {
     /// Probabilities are `sigmoid_c(v_c)` normalized to sum to one — the
     /// naive calibration one-vs-rest affords (no coupling problem exists).
     pub fn predict(&self, test: &CsrMatrix) -> (Vec<u32>, Vec<Vec<f64>>) {
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+        let exec = CpuExecutor::xeon(1);
         predict_ovr(self, test, &exec)
     }
 }

@@ -1,7 +1,7 @@
 //! Training parameters and backend selection.
 
 use gmp_gpusim::DeviceConfig;
-use gmp_kernel::{KernelKind, ReplacementPolicy};
+use gmp_kernel::{ComputeBackendKind, KernelKind, ReplacementPolicy};
 use gmp_smo::{BatchedParams, SmoParams};
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +39,9 @@ pub struct SvmParams {
     /// decision values as LibSVM's `svm_binary_svc_probability` does
     /// (less optimistic calibration, k times the training cost).
     pub sigmoid_cv_folds: usize,
+    /// Which numeric compute backend executes the kernel hot ops. All
+    /// selections are bit-identical; this only changes host wall-clock.
+    pub compute_backend: ComputeBackendKind,
 }
 
 impl Default for SvmParams {
@@ -56,6 +59,7 @@ impl Default for SvmParams {
             max_iter: 10_000_000,
             shrinking: false,
             sigmoid_cv_folds: 0,
+            compute_backend: ComputeBackendKind::from_env(),
         }
     }
 }
@@ -98,6 +102,13 @@ impl SvmParams {
     pub fn with_cv_sigmoid(mut self, folds: usize) -> Self {
         assert!(folds >= 2, "need at least two folds");
         self.sigmoid_cv_folds = folds;
+        self
+    }
+
+    /// Execute the kernel hot ops on the given compute backend (overrides
+    /// the `GMP_BACKEND` default).
+    pub fn with_compute_backend(mut self, kind: ComputeBackendKind) -> Self {
+        self.compute_backend = kind;
         self
     }
 

@@ -6,8 +6,8 @@ use crate::telemetry::PredictReport;
 use crate::trainer::{resolve_host_threads_opt, TrainError};
 use gmp_gpusim::cost::KernelCost;
 use gmp_gpusim::pool::parallel_fill;
-use gmp_gpusim::{CpuExecutor, Device, Executor, HostConfig, Stream};
-use gmp_kernel::KernelOracle;
+use gmp_gpusim::{CpuExecutor, Device, Executor, Stream};
+use gmp_kernel::{ComputeBackendKind, KernelOracle, RowScorer};
 use gmp_prob::{couple_gaussian, sigmoid_predict, PairwiseProbs};
 use gmp_sparse::{CsrMatrix, DenseMatrix};
 use std::sync::Arc;
@@ -45,6 +45,17 @@ impl MpSvmModel {
         self.predict_with_threads(test, backend, None)
     }
 
+    /// [`MpSvmModel::predict`] on an explicit compute backend (instead of
+    /// the `GMP_BACKEND` selection).
+    pub fn predict_with_compute_backend(
+        &self,
+        test: &CsrMatrix,
+        backend: &Backend,
+        compute: ComputeBackendKind,
+    ) -> Result<PredictOutcome, TrainError> {
+        self.predict_inner(test, backend, resolve_host_threads_opt(None), None, compute)
+    }
+
     /// [`MpSvmModel::predict`] with an explicit real host-thread count for
     /// the numeric work (kernel blocks, decision accumulation, sigmoids,
     /// coupling). `None` = auto (`GMP_HOST_THREADS` env var, else available
@@ -56,7 +67,13 @@ impl MpSvmModel {
         backend: &Backend,
         host_threads: Option<usize>,
     ) -> Result<PredictOutcome, TrainError> {
-        self.predict_inner(test, backend, resolve_host_threads_opt(host_threads), None)
+        self.predict_inner(
+            test,
+            backend,
+            resolve_host_threads_opt(host_threads),
+            None,
+            ComputeBackendKind::from_env(),
+        )
     }
 
     fn predict_inner(
@@ -65,6 +82,7 @@ impl MpSvmModel {
         backend: &Backend,
         ht: usize,
         prepared_oracle: Option<&KernelOracle>,
+        compute: ComputeBackendKind,
     ) -> Result<PredictOutcome, TrainError> {
         let wall = Instant::now();
         let m = test.nrows();
@@ -80,9 +98,9 @@ impl MpSvmModel {
             _ => None,
         };
         let exec: Box<dyn Executor> = match backend {
-            Backend::CpuClassic { threads } | Backend::CpuBatched { threads } => Box::new(
-                CpuExecutor::new(HostConfig::xeon_e5_2640_v4(*threads as u32)),
-            ),
+            Backend::CpuClassic { threads } | Backend::CpuBatched { threads } => {
+                Box::new(CpuExecutor::xeon(*threads as u32))
+            }
             // gmp:allow-panic — this match arm is only reached for GPU backends, which always carry a device
             _ => Box::new(Stream::new(device.clone().expect("gpu backend"), 1.0)),
         };
@@ -104,7 +122,6 @@ impl MpSvmModel {
                         &test_norms,
                         exec,
                         device.as_ref(),
-                        ht,
                         oracle,
                         &mut decision_values,
                     )?,
@@ -114,6 +131,7 @@ impl MpSvmModel {
                         exec,
                         device.as_ref(),
                         ht,
+                        compute,
                         &mut decision_values,
                     )?,
                 };
@@ -124,6 +142,7 @@ impl MpSvmModel {
                     exec,
                     device.as_ref(),
                     ht,
+                    compute,
                     &mut decision_values,
                 )?;
             }
@@ -194,6 +213,7 @@ impl MpSvmModel {
 
         let report = PredictReport {
             backend: backend.label(),
+            compute_backend: compute.name().to_string(),
             wall_s: wall.elapsed().as_secs_f64(),
             sim_s: exec.elapsed(),
             kernel_evals,
@@ -213,6 +233,7 @@ impl MpSvmModel {
     }
 
     /// Shared path: one `test x sv_pool` kernel block serves every binary.
+    #[allow(clippy::too_many_arguments)]
     fn decisions_shared(
         &self,
         test: &CsrMatrix,
@@ -220,24 +241,25 @@ impl MpSvmModel {
         exec: &dyn Executor,
         device: Option<&Device>,
         host_threads: usize,
+        compute: ComputeBackendKind,
         out: &mut [Vec<f64>],
     ) -> Result<u64, TrainError> {
         let oracle = KernelOracle::new(Arc::new(self.sv_pool.clone()), self.kernel)
-            .with_host_threads(host_threads);
-        self.decisions_shared_with(test, test_norms, exec, device, host_threads, &oracle, out)
+            .with_host_threads(host_threads)
+            .with_backend(compute.instance());
+        self.decisions_shared_with(test, test_norms, exec, device, &oracle, out)
     }
 
     /// [`MpSvmModel::decisions_shared`] against a caller-held oracle over
     /// the SV pool, so long-lived predictors ([`PreparedPredictor`]) pay
     /// the pool clone + norm precomputation once instead of per call.
-    #[allow(clippy::too_many_arguments)]
+    /// Host threading rides on the oracle's backend configuration.
     fn decisions_shared_with(
         &self,
         test: &CsrMatrix,
         test_norms: &[f64],
         exec: &dyn Executor,
         device: Option<&Device>,
-        host_threads: usize,
         oracle: &KernelOracle,
         out: &mut [Vec<f64>],
     ) -> Result<u64, TrainError> {
@@ -253,6 +275,17 @@ impl MpSvmModel {
             }
             None => None,
         };
+        let scorers: Vec<RowScorer<'_>> = self
+            .binaries
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| RowScorer {
+                out_col: bi,
+                sv_idx: Some(&b.sv_idx),
+                coef: &b.coef,
+                rho: b.rho,
+            })
+            .collect();
         let chunk = chunk_rows(test.nrows(), n_sv, device);
         let mut start = 0usize;
         while start < test.nrows() {
@@ -264,33 +297,16 @@ impl MpSvmModel {
             };
             let mut block = DenseMatrix::zeros(rows.len(), n_sv);
             oracle.compute_cross_with_norms(exec, test, &rows, test_norms, &mut block);
-            // All binary SVMs index into the same block.
-            exec.charge(KernelCost::map(
-                (rows.len() * self.total_sv_refs()) as u64,
-                2,
-                16,
-            ));
-            // Accumulate per test row: rows are independent, so each worker
-            // builds complete decision rows for a disjoint slice of `out`.
-            let block = &block;
-            parallel_fill(host_threads, &mut out[start..end], |ri| {
-                let krow = block.row(ri);
-                let mut dv = vec![0.0f64; self.binaries.len()];
-                for (bi, b) in self.binaries.iter().enumerate() {
-                    let mut v = 0.0;
-                    for (&svi, &c) in b.sv_idx.iter().zip(&b.coef) {
-                        v += c * krow[svi as usize];
-                    }
-                    dv[bi] = v - b.rho;
-                }
-                dv
-            });
+            // All binary SVMs score against the same block: one scorer per
+            // binary, one fused backend launch for the whole chunk.
+            oracle.score_rows(exec, &block, &scorers, &mut out[start..end]);
             start = end;
         }
         Ok(oracle.eval_count() - evals_before)
     }
 
     /// Unshared path: each binary SVM scores against its own SV list.
+    #[allow(clippy::too_many_arguments)]
     fn decisions_unshared(
         &self,
         test: &CsrMatrix,
@@ -298,6 +314,7 @@ impl MpSvmModel {
         exec: &dyn Executor,
         device: Option<&Device>,
         host_threads: usize,
+        compute: ComputeBackendKind,
         out: &mut [Vec<f64>],
     ) -> Result<u64, TrainError> {
         let mut evals = 0u64;
@@ -319,7 +336,17 @@ impl MpSvmModel {
                 }
                 None => None,
             };
-            let oracle = KernelOracle::new(svs, self.kernel).with_host_threads(host_threads);
+            let oracle = KernelOracle::new(svs, self.kernel)
+                .with_host_threads(host_threads)
+                .with_backend(compute.instance());
+            // This binary's block columns are exactly its SV list, in
+            // order: a dense-sweep scorer writing column `bi`.
+            let scorer = [RowScorer {
+                out_col: bi,
+                sv_idx: None,
+                coef: &b.coef,
+                rho: b.rho,
+            }];
             let n_sv = sv_rows.len();
             let chunk = chunk_rows(test.nrows(), n_sv, device);
             let mut start = 0usize;
@@ -332,15 +359,7 @@ impl MpSvmModel {
                 };
                 let mut block = DenseMatrix::zeros(rows.len(), n_sv);
                 oracle.compute_cross_with_norms(exec, test, &rows, test_norms, &mut block);
-                exec.charge(KernelCost::map((rows.len() * n_sv) as u64, 2, 16));
-                for (ri, t) in (start..end).enumerate() {
-                    let krow = block.row(ri);
-                    let mut v = 0.0;
-                    for (j, &c) in b.coef.iter().enumerate() {
-                        v += c * krow[j];
-                    }
-                    out[t][bi] = v - b.rho;
-                }
+                oracle.score_rows(exec, &block, &scorer, &mut out[start..end]);
                 start = end;
             }
             evals += oracle.eval_count();
@@ -362,6 +381,7 @@ impl MpSvmModel {
 pub struct PreparedPredictor {
     model: Arc<MpSvmModel>,
     backend: Backend,
+    compute: ComputeBackendKind,
     host_threads: usize,
     /// Persistent oracle over the shared SV pool (norms + diagonal
     /// precomputed). `None` for unshared backends, which score per-binary
@@ -373,14 +393,27 @@ impl PreparedPredictor {
     /// Prepare `model` for repeated prediction on `backend`.
     /// `host_threads` as in [`MpSvmModel::predict_with_threads`].
     pub fn new(model: Arc<MpSvmModel>, backend: Backend, host_threads: Option<usize>) -> Self {
+        Self::with_compute_backend(model, backend, host_threads, ComputeBackendKind::from_env())
+    }
+
+    /// [`PreparedPredictor::new`] on an explicit compute backend.
+    pub fn with_compute_backend(
+        model: Arc<MpSvmModel>,
+        backend: Backend,
+        host_threads: Option<usize>,
+        compute: ComputeBackendKind,
+    ) -> Self {
         let ht = resolve_host_threads_opt(host_threads);
         let shared = matches!(backend, Backend::Gmp { .. } | Backend::CpuBatched { .. });
         let oracle = (shared && model.sv_pool.nrows() > 0).then(|| {
-            KernelOracle::new(Arc::new(model.sv_pool.clone()), model.kernel).with_host_threads(ht)
+            KernelOracle::new(Arc::new(model.sv_pool.clone()), model.kernel)
+                .with_host_threads(ht)
+                .with_backend(compute.instance())
         });
         PreparedPredictor {
             model,
             backend,
+            compute,
             host_threads: ht,
             oracle,
         }
@@ -401,11 +434,21 @@ impl PreparedPredictor {
         self.host_threads
     }
 
+    /// The compute backend every call scores on.
+    pub fn compute_backend(&self) -> ComputeBackendKind {
+        self.compute
+    }
+
     /// Predict every row of `test` — bit-identical to
     /// [`MpSvmModel::predict`] on the same rows.
     pub fn predict(&self, test: &CsrMatrix) -> Result<PredictOutcome, TrainError> {
-        self.model
-            .predict_inner(test, &self.backend, self.host_threads, self.oracle.as_ref())
+        self.model.predict_inner(
+            test,
+            &self.backend,
+            self.host_threads,
+            self.oracle.as_ref(),
+            self.compute,
+        )
     }
 }
 

@@ -17,7 +17,7 @@
 //! without duplicating the data.
 
 use crate::params::SvmParams;
-use gmp_gpusim::{CpuExecutor, Executor, HostConfig};
+use gmp_gpusim::{CpuExecutor, Executor};
 use gmp_kernel::{KernelKind, KernelOracle, KernelRows, RowProviderStats};
 use gmp_smo::{BatchedSmoSolver, SolverResult};
 use gmp_sparse::{CsrMatrix, DenseMatrix};
@@ -217,7 +217,7 @@ pub fn train_svr(params: SvrParams, x: &CsrMatrix, z: &[f64]) -> SvrModel {
     assert_eq!(z.len(), n, "target/instance count mismatch");
     assert!(n >= 2, "need at least two instances");
     assert!(params.epsilon >= 0.0 && params.c > 0.0);
-    let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+    let exec = CpuExecutor::xeon(1);
     let oracle = Arc::new(KernelOracle::new(Arc::new(x.clone()), params.kernel));
 
     // Doubled problem.
@@ -270,7 +270,7 @@ pub fn train_svr(params: SvrParams, x: &CsrMatrix, z: &[f64]) -> SvrModel {
 impl SvrModel {
     /// Predict targets for every row of `test`.
     pub fn predict(&self, test: &CsrMatrix) -> Vec<f64> {
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+        let exec = CpuExecutor::xeon(1);
         if test.nrows() == 0 || self.svs.nrows() == 0 {
             return vec![-self.rho; test.nrows()];
         }
@@ -404,7 +404,7 @@ mod tests {
         let x = dense(&[vec![1.0], vec![2.0], vec![3.0]], 1);
         let oracle = Arc::new(KernelOracle::new(Arc::new(x), KernelKind::Linear));
         let mut rows = MirroredRows::new(oracle.clone(), 8);
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+        let exec = CpuExecutor::xeon(1);
         rows.ensure(&exec, &[1, 4]); // instance 1 and its mirror 1+3
         assert_eq!(rows.n(), 6);
         let r1 = rows.row(1);

@@ -31,6 +31,10 @@ pub struct BinaryTrainStats {
 pub struct TrainReport {
     /// Backend label (Table 3 column).
     pub backend: String,
+    /// Compute backend that executed the numeric hot ops ("scalar",
+    /// "blocked"). Orthogonal to `backend`: changes host wall-clock only,
+    /// never `sim_s` or any counter.
+    pub compute_backend: String,
     /// Wall-clock seconds (host, this machine — not comparable to the
     /// paper's testbed).
     pub wall_s: f64,
@@ -78,6 +82,8 @@ impl TrainReport {
 pub struct PredictReport {
     /// Backend label.
     pub backend: String,
+    /// Compute backend that executed the numeric hot ops.
+    pub compute_backend: String,
     /// Wall-clock seconds.
     pub wall_s: f64,
     /// Simulated seconds.

@@ -6,7 +6,7 @@ use crate::params::{Backend, SvmParams};
 use crate::telemetry::{BinaryTrainStats, TrainReport};
 use gmp_datasets::Dataset;
 use gmp_gpusim::cost::KernelCost;
-use gmp_gpusim::{CpuExecutor, Device, DeviceError, Executor, HostConfig, Stream};
+use gmp_gpusim::{CpuExecutor, Device, DeviceError, Executor, Stream};
 use gmp_kernel::{
     BufferedRows, ClassLayout, KernelOracle, ReplacementPolicy, SharedKernelStore, SharedRows,
 };
@@ -235,6 +235,7 @@ impl MpSvmTrainer {
         };
         let report = TrainReport {
             backend: self.backend.label(),
+            compute_backend: self.params.compute_backend.name().to_string(),
             wall_s: wall_start.elapsed().as_secs_f64(),
             sim_s,
             kernel_evals,
@@ -277,8 +278,11 @@ impl MpSvmTrainer {
             }
             None => None,
         };
-        let oracle =
-            Arc::new(KernelOracle::new(sub, self.params.kernel).with_host_threads(host_threads));
+        let oracle = Arc::new(
+            KernelOracle::new(sub, self.params.kernel)
+                .with_host_threads(host_threads)
+                .with_backend(self.params.compute_backend.instance()),
+        );
         let mut rows = BufferedRows::new(
             oracle.clone(),
             self.params.cache_rows,
@@ -341,7 +345,10 @@ impl MpSvmTrainer {
                 continue; // degenerate fold: decision values stay 0
             }
             let fold_x = Arc::new(sub.select_rows(&train_idx));
-            let oracle = Arc::new(KernelOracle::new(fold_x, self.params.kernel));
+            let oracle = Arc::new(
+                KernelOracle::new(fold_x, self.params.kernel)
+                    .with_backend(self.params.compute_backend.instance()),
+            );
             let mut rows = BufferedRows::new(
                 oracle.clone(),
                 self.params.cache_rows,
@@ -389,7 +396,7 @@ impl MpSvmTrainer {
         problems: &[BinaryProblem],
         threads: usize,
     ) -> (Vec<BinaryFit>, f64) {
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(threads as u32));
+        let exec = CpuExecutor::xeon(threads as u32);
         let host_threads = effective_host_threads(threads);
         let fits = problems
             .iter()
@@ -410,11 +417,12 @@ impl MpSvmTrainer {
         problems: &[BinaryProblem],
         threads: usize,
     ) -> (Vec<BinaryFit>, f64) {
-        let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(threads as u32));
+        let exec = CpuExecutor::xeon(threads as u32);
         let host_threads = effective_host_threads(threads);
         let oracle = Arc::new(
             KernelOracle::new(Arc::new(grouped.x.clone()), self.params.kernel)
-                .with_host_threads(host_threads),
+                .with_host_threads(host_threads)
+                .with_backend(self.params.compute_backend.instance()),
         );
         let layout = ClassLayout::new(offsets.to_vec());
         let store = Arc::new(
@@ -480,10 +488,10 @@ impl MpSvmTrainer {
         setup.charge_transfer(data_bytes);
         let mut total_sim = setup.elapsed();
 
-        let oracle = Arc::new(KernelOracle::new(
-            Arc::new(grouped.x.clone()),
-            self.params.kernel,
-        ));
+        let oracle = Arc::new(
+            KernelOracle::new(Arc::new(grouped.x.clone()), self.params.kernel)
+                .with_backend(self.params.compute_backend.instance()),
+        );
         let layout = ClassLayout::new(offsets.to_vec());
         // Shared store: half of the remaining device memory, capped.
         let budget = shared_store_budget_bytes(grouped.n())

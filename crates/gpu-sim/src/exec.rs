@@ -116,6 +116,13 @@ impl CpuExecutor {
         }
     }
 
+    /// An executor over the paper's testbed host (the Xeon E5-2640 v4 model)
+    /// with the given thread count — the one host configuration every
+    /// backend, test, and bench in the workspace uses.
+    pub fn xeon(threads: u32) -> Self {
+        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(threads))
+    }
+
     /// The host description.
     pub fn config(&self) -> &HostConfig {
         &self.config
@@ -182,8 +189,8 @@ mod tests {
     #[test]
     fn cpu_more_threads_is_faster() {
         let cost = KernelCost::map(10_000_000, 20, 16);
-        let slow = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
-        let fast = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(40));
+        let slow = CpuExecutor::xeon(1);
+        let fast = CpuExecutor::xeon(40);
         slow.charge(cost);
         fast.charge(cost);
         assert!(slow.elapsed() > fast.elapsed() * 3.0);
@@ -191,7 +198,7 @@ mod tests {
 
     #[test]
     fn advance_moves_clock() {
-        let c = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+        let c = CpuExecutor::xeon(1);
         c.advance(0.5);
         assert!((c.elapsed() - 0.5).abs() < 1e-12);
     }
@@ -207,10 +214,7 @@ mod tests {
     fn names_identify_executors() {
         let dev = Device::new(DeviceConfig::tesla_p100());
         assert!(Stream::new(dev, 0.25).name().contains("0.25"));
-        assert_eq!(
-            CpuExecutor::new(HostConfig::xeon_e5_2640_v4(40)).name(),
-            "cpu-40t"
-        );
+        assert_eq!(CpuExecutor::xeon(40).name(), "cpu-40t");
     }
 
     #[test]

@@ -115,6 +115,49 @@ where
     .expect("worker thread panicked");
 }
 
+/// Update `out[i]` in place via `f(i, &mut out[i])`, in parallel chunks.
+/// Unlike [`parallel_fill`], existing element state is preserved, so
+/// callers can write a subset of each element (e.g. one column of a
+/// decision-value row) without rebuilding the rest.
+pub fn parallel_update<T, F>(threads: usize, out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = threads.max(1);
+    let len = out.len();
+    if threads == 1 || len <= 1 {
+        for (i, o) in out.iter_mut().enumerate() {
+            f(i, o);
+        }
+        return;
+    }
+    let nchunks = threads.min(len);
+    let chunk = len.div_ceil(nchunks);
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        let mut offset = 0usize;
+        for _ in 0..nchunks {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            let base = offset;
+            s.spawn(move |_| {
+                for (i, o) in head.iter_mut().enumerate() {
+                    f(base + i, o);
+                }
+            });
+            offset += take;
+        }
+    })
+    // gmp:allow-panic — propagating a worker-thread panic; swallowing it would hide the original failure
+    .expect("worker thread panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +240,24 @@ mod tests {
         let mut out = vec![0; 2];
         parallel_fill(16, &mut out, |i| i + 1);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn update_preserves_untouched_state() {
+        for threads in [1usize, 3, 8] {
+            let mut out: Vec<(usize, usize)> = (0..23).map(|i| (i, 7)).collect();
+            parallel_update(threads, &mut out, |i, o| o.0 = i * 3);
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == (i * 3, 7)),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_empty_is_noop() {
+        let mut out: Vec<u8> = vec![];
+        parallel_update(4, &mut out, |_, _| unreachable!());
+        assert!(out.is_empty());
     }
 }

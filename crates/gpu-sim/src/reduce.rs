@@ -93,11 +93,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::HostConfig;
     use crate::exec::CpuExecutor;
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     #[test]

@@ -15,10 +15,15 @@
 //! it, so the same solver code runs in every backend.
 
 pub mod buffer;
-pub mod functions;
 pub mod oracle;
 pub mod rows;
 pub mod shared;
+
+// Kernel functions (and the compute-backend seam that executes them) live
+// in `gmp-backend`; re-exported here so downstream `gmp_kernel::KernelKind`
+// and `gmp_kernel::functions::*` paths keep working.
+pub use gmp_backend::functions;
+pub use gmp_backend::{ComputeBackend, ComputeBackendKind, KernelContext, RowScorer};
 
 pub use buffer::{BufferStats, KernelBuffer, ReplacementPolicy};
 pub use functions::KernelKind;

@@ -2,8 +2,7 @@
 //! matrix on demand, counting every evaluation.
 
 use crate::functions::KernelKind;
-use gmp_gpusim::cost::KernelCost;
-use gmp_gpusim::pool::parallel_for_chunks;
+use gmp_backend::{ComputeBackend, ComputeBackendKind, KernelContext};
 use gmp_gpusim::Executor;
 use gmp_sparse::{CsrMatrix, DenseMatrix};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,19 +12,25 @@ use std::sync::Arc;
 ///
 /// Row `i` of the kernel matrix is `K(x_i, x_j)` for all `j`; the oracle
 /// computes batches of rows as one "launch" (one [`Executor::charge`]) —
-/// the cuSPARSE-style batched product of §3.3.1. The `kernel_evals` counter
-/// is the hardware-independent ground truth behind every speedup claim.
+/// the cuSPARSE-style batched product of §3.3.1. The numeric loops and the
+/// launch accounting live behind a pluggable [`ComputeBackend`]; the oracle
+/// owns the monotone `kernel_evals` counter — the hardware-independent
+/// ground truth behind every speedup claim — and reconciles it against the
+/// owner-attributed counts each backend call returns (exactly
+/// `rows × width`, audited under `debug-invariants`).
 pub struct KernelOracle {
     data: Arc<CsrMatrix>,
     kind: KernelKind,
     norms: Vec<f64>,
     diag: Vec<f64>,
     host_threads: usize,
+    backend: Arc<dyn ComputeBackend>,
     kernel_evals: AtomicU64,
 }
 
 impl KernelOracle {
-    /// Build an oracle over `data` (norms and diagonal precomputed).
+    /// Build an oracle over `data` (norms and diagonal precomputed). The
+    /// compute backend defaults to the `GMP_BACKEND` selection.
     pub fn new(data: Arc<CsrMatrix>, kind: KernelKind) -> Self {
         let norms = data.row_norms_sq();
         let diag = norms.iter().map(|&n2| kind.self_eval(n2)).collect();
@@ -35,6 +40,7 @@ impl KernelOracle {
             norms,
             diag,
             host_threads: 1,
+            backend: ComputeBackendKind::from_env().instance(),
             kernel_evals: AtomicU64::new(0),
         }
     }
@@ -44,6 +50,17 @@ impl KernelOracle {
     pub fn with_host_threads(mut self, threads: usize) -> Self {
         self.host_threads = threads.max(1);
         self
+    }
+
+    /// Execute the numeric hot ops on the given compute backend.
+    pub fn with_backend(mut self, backend: Arc<dyn ComputeBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compute backend executing this oracle's hot ops.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Number of instances.
@@ -78,6 +95,16 @@ impl KernelOracle {
         self.kernel_evals.load(Ordering::Relaxed)
     }
 
+    /// The backend view of this oracle's dataset.
+    fn ctx(&self) -> KernelContext<'_> {
+        KernelContext {
+            data: &self.data,
+            norms: &self.norms,
+            kind: self.kind,
+            host_threads: self.host_threads,
+        }
+    }
+
     /// One kernel value (used by tests and the classic solver's eta terms
     /// when rows are unavailable). Counted.
     pub fn eval_pair(&self, i: usize, j: usize) -> f64 {
@@ -88,12 +115,19 @@ impl KernelOracle {
 
     /// Compute full kernel rows for `row_ids` into `out` (shape
     /// `row_ids.len() x n`), charged to `exec` as **one** batched launch.
-    pub fn compute_rows(&self, exec: &dyn Executor, row_ids: &[usize], out: &mut DenseMatrix) {
-        self.compute_rows_range(exec, row_ids, 0..self.n(), out);
+    /// Returns the kernel values computed.
+    pub fn compute_rows(
+        &self,
+        exec: &dyn Executor,
+        row_ids: &[usize],
+        out: &mut DenseMatrix,
+    ) -> u64 {
+        self.compute_rows_range(exec, row_ids, 0..self.n(), out)
     }
 
     /// Compute the kernel segment `K(x_r, x_j)` for `r` in `row_ids`,
     /// `j` in `cols`, into `out` (shape `row_ids.len() x cols.len()`).
+    /// Returns the kernel values computed (`row_ids.len() * cols.len()`).
     ///
     /// This is the class-segment primitive of the shared store (Fig. 3).
     pub fn compute_rows_range(
@@ -102,62 +136,24 @@ impl KernelOracle {
         row_ids: &[usize],
         cols: std::ops::Range<usize>,
         out: &mut DenseMatrix,
-    ) {
-        // `>=` so callers can reuse an over-sized persistent scratch block
-        // (the allocation-free ensure hot path); only the first
-        // `row_ids.len()` rows are written.
-        assert!(out.nrows() >= row_ids.len(), "output row mismatch");
-        assert_eq!(out.ncols(), cols.len(), "output col mismatch");
-        if row_ids.is_empty() || cols.is_empty() {
-            return;
-        }
-        self.charge_batch(exec, row_ids, cols.len() as u64);
-        let data = &*self.data;
-        let kind = self.kind;
-        let norms = &self.norms;
-        let ncols = data.ncols();
-        // Each batch row is independent: scatter the source row once, then
-        // gather-dot every target row in the range and apply the kernel map.
-        if self.host_threads == 1 {
-            // Allocation-free path: thread-local scatter scratch, direct
-            // `row_mut` writes (no pointer table needed).
-            with_scatter_scratch(ncols, |scratch| {
-                for (bi, &r) in row_ids.iter().enumerate() {
-                    let src = data.row(r);
-                    src.scatter(scratch);
-                    let norm_r = norms[r];
-                    for (o, j) in out.row_mut(bi).iter_mut().zip(cols.clone()) {
-                        let dot = data.row(j).dot_dense(scratch);
-                        *o = kind.eval(dot, norm_r, norms[j]);
-                    }
-                    src.clear_scatter(scratch);
-                }
-            });
-            return;
-        }
-        let rows_slices = split_rows(out, row_ids.len());
-        parallel_for_chunks(self.host_threads, row_ids.len(), |chunk| {
-            let mut scratch = vec![0.0; ncols];
-            for bi in chunk {
-                let r = row_ids[bi];
-                let src = data.row(r);
-                src.scatter(&mut scratch);
-                let norm_r = norms[r];
-                // SAFETY: chunks partition the index range, so each `bi`
-                // is dereferenced by exactly one worker thread.
-                let out_row = unsafe { rows_slices.row(bi) };
-                for (o, j) in out_row.iter_mut().zip(cols.clone()) {
-                    let dot = data.row(j).dot_dense(&scratch);
-                    *o = kind.eval(dot, norm_r, norms[j]);
-                }
-                src.clear_scatter(&mut scratch);
-            }
-        });
+    ) -> u64 {
+        let expected = (row_ids.len() * cols.len()) as u64;
+        let evals = self
+            .backend
+            .batch_kernel_rows(&self.ctx(), exec, row_ids, cols, out);
+        gmp_sync::audit!(assert_eq!(
+            evals,
+            expected,
+            "backend {} misreported batch eval count",
+            self.backend.name()
+        ));
+        self.kernel_evals.fetch_add(evals, Ordering::Relaxed);
+        evals
     }
 
     /// Kernel values of rows of `other` against every instance of this
     /// oracle's dataset (prediction: test instances x support vectors).
-    /// Charged as one batched launch.
+    /// Charged as one batched launch; returns the kernel values computed.
     ///
     /// Squared norms of the requested rows are computed once up front; use
     /// [`KernelOracle::compute_cross_with_norms`] to amortize them across
@@ -168,20 +164,21 @@ impl KernelOracle {
         other: &CsrMatrix,
         other_rows: &[usize],
         out: &mut DenseMatrix,
-    ) {
+    ) -> u64 {
         // Norms of the requested rows only, indexed by global row id.
         let mut other_norms = vec![0.0; other.nrows()];
         for &r in other_rows {
             other_norms[r] = other.row(r).norm_sq();
         }
-        self.compute_cross_with_norms(exec, other, other_rows, &other_norms, out);
+        self.compute_cross_with_norms(exec, other, other_rows, &other_norms, out)
     }
 
     /// [`KernelOracle::compute_cross`] with the squared norms of `other`'s
     /// rows precomputed by the caller (`other_norms[r]` for every `r` in
     /// `other_rows`) — callers that sweep many chunks or many binary SVMs
     /// over the same test set compute the norms exactly once instead of
-    /// once per call.
+    /// once per call. Returns the kernel values computed
+    /// (`other_rows.len() * n`).
     pub fn compute_cross_with_norms(
         &self,
         exec: &dyn Executor,
@@ -189,198 +186,44 @@ impl KernelOracle {
         other_rows: &[usize],
         other_norms: &[f64],
         out: &mut DenseMatrix,
+    ) -> u64 {
+        let expected = (other_rows.len() * self.n()) as u64;
+        let evals =
+            self.backend
+                .test_sv_matrix(&self.ctx(), exec, other, other_rows, other_norms, out);
+        gmp_sync::audit!(assert_eq!(
+            evals,
+            expected,
+            "backend {} misreported cross eval count",
+            self.backend.name()
+        ));
+        self.kernel_evals.fetch_add(evals, Ordering::Relaxed);
+        evals
+    }
+
+    /// Decision values gathered from a computed kernel block — see
+    /// [`ComputeBackend::score_rows`]. Routed through the oracle so
+    /// prediction paths use the same backend instance as row computation.
+    pub fn score_rows(
+        &self,
+        exec: &dyn Executor,
+        block: &DenseMatrix,
+        scorers: &[gmp_backend::RowScorer<'_>],
+        out: &mut [Vec<f64>],
     ) {
-        assert!(out.nrows() >= other_rows.len());
-        assert_eq!(out.ncols(), self.n());
-        assert_eq!(other.ncols(), self.data.ncols(), "dimension mismatch");
-        assert_eq!(
-            other_norms.len(),
-            other.nrows(),
-            "norms must cover all rows"
-        );
-        if other_rows.is_empty() || self.n() == 0 {
-            return;
-        }
-        let values = (other_rows.len() * self.n()) as u64;
-        self.kernel_evals.fetch_add(values, Ordering::Relaxed);
-        let dot_flops = 2 * self.data.nnz() as u64 * other_rows.len() as u64;
-        let batch_bytes: u64 = other_rows
-            .iter()
-            .map(|&r| 12 * other.row(r).nnz() as u64)
-            .sum();
-        exec.charge(KernelCost::row_batch(
-            other_rows.len() as u64,
-            self.n() as u64,
-            dot_flops + values * self.kind.map_flops(),
-            batch_bytes,
-            self.data.mem_bytes() as u64,
-        ));
-        let data = &*self.data;
-        let kind = self.kind;
-        let norms = &self.norms;
-        let ncols = data.ncols();
-        if self.host_threads == 1 {
-            with_scatter_scratch(ncols, |scratch| {
-                for (bi, &r) in other_rows.iter().enumerate() {
-                    let src = other.row(r);
-                    src.scatter(scratch);
-                    let norm_r = other_norms[r];
-                    for (j, o) in out.row_mut(bi).iter_mut().enumerate() {
-                        let dot = data.row(j).dot_dense(scratch);
-                        *o = kind.eval(dot, norm_r, norms[j]);
-                    }
-                    src.clear_scatter(scratch);
-                }
-            });
-            return;
-        }
-        let rows_slices = split_rows(out, other_rows.len());
-        parallel_for_chunks(self.host_threads, other_rows.len(), |chunk| {
-            let mut scratch = vec![0.0; ncols];
-            for bi in chunk {
-                let r = other_rows[bi];
-                let src = other.row(r);
-                src.scatter(&mut scratch);
-                let norm_r = other_norms[r];
-                // SAFETY: chunks partition the index range, so each `bi`
-                // is dereferenced by exactly one worker thread.
-                let out_row = unsafe { rows_slices.row(bi) };
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let dot = data.row(j).dot_dense(&scratch);
-                    *o = kind.eval(dot, norm_r, norms[j]);
-                }
-                src.clear_scatter(&mut scratch);
-            }
-        });
+        self.backend
+            .score_rows(exec, block, scorers, self.host_threads, out);
     }
-
-    fn charge_batch(&self, exec: &dyn Executor, row_ids: &[usize], width: u64) {
-        let q = row_ids.len() as u64;
-        let values = q * width;
-        self.kernel_evals.fetch_add(values, Ordering::Relaxed);
-        // Dot-product flops: proportional to data nnz per batch row
-        // (scatter-gather touches every stored entry of the target range;
-        // we approximate with the full-matrix density).
-        let avg_nnz = self.data.nnz() as f64 / self.data.nrows().max(1) as f64;
-        let dot_flops = (2.0 * avg_nnz * values as f64) as u64;
-        let batch_bytes: u64 = row_ids
-            .iter()
-            .map(|&r| 12 * self.data.row(r).nnz() as u64)
-            .sum();
-        // The whole target range of the data matrix is streamed once per
-        // *batch* — the §3.3.1 amortization.
-        let data_bytes =
-            (self.data.mem_bytes() as f64 * width as f64 / self.n().max(1) as f64) as u64;
-        exec.charge(KernelCost::row_batch(
-            q,
-            width,
-            dot_flops + values * self.kind.map_flops(),
-            batch_bytes,
-            data_bytes,
-        ));
-    }
-}
-
-/// Concurrent disjoint access to the first `nrows` rows of a dense matrix,
-/// so worker threads can fill rows in parallel. Row slices are derived on
-/// demand from a single base pointer (one `&mut` borrow of the whole
-/// buffer), and the `'a` lifetime pins the matrix's exclusive borrow for as
-/// long as any `RowPtrs` value exists — handing the matrix out again while
-/// workers hold row slices is a compile error, not UB.
-struct RowPtrs<'a> {
-    base: *mut f64,
-    ncols: usize,
-    nrows: usize,
-    /// `debug-invariants` audit ledger: which rows have been handed out
-    /// (empty and untouched when the feature is off).
-    handed: gmp_sync::Mutex<Vec<bool>>,
-    _borrow: std::marker::PhantomData<&'a mut [f64]>,
-}
-
-// SAFETY: `RowPtrs` is a partition handle over a buffer exclusively
-// borrowed for `'a` (no other reference to it can exist while the value
-// lives). The raw base pointer is only read through `row`, whose contract
-// makes the handed-out `&mut` slices disjoint, so moving or sharing the
-// handle across threads cannot create aliasing that the single-threaded
-// use would not have.
-unsafe impl Send for RowPtrs<'_> {}
-// SAFETY: as above — `&RowPtrs` only exposes `row`, and the disjointness
-// contract of `row` (each index dereferenced by at most one thread) is
-// exactly the condition under which concurrent calls are sound.
-unsafe impl Sync for RowPtrs<'_> {}
-
-impl RowPtrs<'_> {
-    /// Exclusive slice of row `i`.
-    ///
-    /// # Safety
-    /// Each index must be dereferenced by at most one thread over the
-    /// handle's lifetime (`parallel_for_chunks` guarantees this: chunks
-    /// partition the index range). Under `debug-invariants` a handout
-    /// ledger asserts the disjointness at runtime.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn row(&self, i: usize) -> &mut [f64] {
-        assert!(i < self.nrows, "row {i} out of split range {}", self.nrows);
-        gmp_sync::audit!({
-            let mut handed = self.handed.lock();
-            assert!(
-                !std::mem::replace(&mut handed[i], true),
-                "row {i} handed out twice — aliased concurrent write"
-            );
-        });
-        // SAFETY: `base` points at the live row-major buffer (the `'a`
-        // borrow keeps it alive and exclusive); row `i < nrows` spans
-        // `[i*ncols, (i+1)*ncols)`, in bounds because the source matrix
-        // has at least `nrows` rows (asserted in `split_rows`). Distinct
-        // `i` give non-overlapping ranges, and the caller contract makes
-        // every handed-out slice unique, so no `&mut` aliasing arises.
-        unsafe { std::slice::from_raw_parts_mut(self.base.add(i * self.ncols), self.ncols) }
-    }
-}
-
-/// Partition the first `nrows` rows of `m` for concurrent filling. All row
-/// pointers derive from one `as_mut_slice` borrow — collecting
-/// `m.row_mut(i) as *mut _` per row instead would invalidate each earlier
-/// pointer under Stacked Borrows (every `row_mut` reborrows the whole
-/// buffer), which Miri rejects.
-fn split_rows(m: &mut DenseMatrix, nrows: usize) -> RowPtrs<'_> {
-    assert!(nrows <= m.nrows(), "cannot split more rows than exist");
-    let ncols = m.ncols();
-    let handed = gmp_sync::Mutex::new(if gmp_sync::AUDIT {
-        vec![false; nrows]
-    } else {
-        Vec::new()
-    });
-    RowPtrs {
-        base: m.as_mut_slice().as_mut_ptr(),
-        ncols,
-        nrows,
-        handed,
-        _borrow: std::marker::PhantomData,
-    }
-}
-
-/// Run `f` with a zeroed scatter scratch of at least `ncols` values,
-/// reusing a thread-local buffer so steady-state callers never allocate.
-fn with_scatter_scratch<R>(ncols: usize, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
-    thread_local! {
-        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
-    }
-    SCRATCH.with(|cell| {
-        let mut scratch = cell.borrow_mut();
-        if scratch.len() < ncols {
-            scratch.resize(ncols, 0.0);
-        }
-        f(&mut scratch)
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_backend::BlockedBackend;
+    use gmp_gpusim::CpuExecutor;
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     fn toy_data() -> Arc<CsrMatrix> {
@@ -442,7 +285,8 @@ mod tests {
         let o = KernelOracle::new(toy_data(), KernelKind::Linear);
         let e = exec();
         let mut out = DenseMatrix::zeros(2, 4);
-        o.compute_rows(&e, &[0, 1], &mut out);
+        let evals = o.compute_rows(&e, &[0, 1], &mut out);
+        assert_eq!(evals, 8);
         assert_eq!(o.eval_count(), 8);
         o.eval_pair(0, 1);
         assert_eq!(o.eval_count(), 9);
@@ -465,7 +309,8 @@ mod tests {
         let e = exec();
         // Cross of the same matrix row 1 must equal compute_rows of row 1.
         let mut cross = DenseMatrix::zeros(1, 4);
-        o.compute_cross(&e, &data, &[1], &mut cross);
+        let evals = o.compute_cross(&e, &data, &[1], &mut cross);
+        assert_eq!(evals, 4);
         let mut direct = DenseMatrix::zeros(1, 4);
         o.compute_rows(&e, &[1], &mut direct);
         for j in 0..4 {
@@ -483,6 +328,24 @@ mod tests {
         o1.compute_rows(&e, &[0, 1, 2, 3], &mut a);
         o4.compute_rows(&e, &[0, 1, 2, 3], &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_backend_is_bit_identical_through_the_oracle() {
+        let scalar = KernelOracle::new(toy_data(), KernelKind::Rbf { gamma: 0.5 });
+        let blocked = KernelOracle::new(toy_data(), KernelKind::Rbf { gamma: 0.5 })
+            .with_backend(Arc::new(BlockedBackend));
+        assert_eq!(blocked.backend_name(), "blocked");
+        let (ea, eb) = (exec(), exec());
+        let mut a = DenseMatrix::zeros(4, 4);
+        let mut b = DenseMatrix::zeros(4, 4);
+        scalar.compute_rows(&ea, &[0, 1, 2, 3], &mut a);
+        blocked.compute_rows(&eb, &[0, 1, 2, 3], &mut b);
+        assert_eq!(a, b);
+        assert_eq!(scalar.eval_count(), blocked.eval_count());
+        // Identical simulated cost: the cost model describes the modeled
+        // device, not the backend's host loop structure.
+        assert_eq!(ea.elapsed().to_bits(), eb.elapsed().to_bits());
     }
 
     #[test]

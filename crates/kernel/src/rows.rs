@@ -187,7 +187,7 @@ impl KernelRows for BufferedRows {
 mod tests {
     use super::*;
     use crate::functions::KernelKind;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_gpusim::CpuExecutor;
     use gmp_sparse::CsrMatrix;
 
     fn provider(cap: usize) -> BufferedRows {
@@ -206,7 +206,7 @@ mod tests {
     }
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     #[test]

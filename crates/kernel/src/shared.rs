@@ -302,13 +302,22 @@ impl SharedKernelStore {
         if !to_compute.is_empty() {
             let miss_ids: Vec<usize> = to_compute.iter().map(|&ri| global_ids[ri]).collect();
             let mut block = DenseMatrix::zeros(miss_ids.len(), width);
-            self.oracle
+            // The backend's owner-attributed eval count is the slot
+            // ledger's ground truth (exactly `rows × width`, audited at
+            // the oracle boundary).
+            let evals = self
+                .oracle
                 .compute_rows_range(exec, &miss_ids, range.clone(), &mut block);
+            gmp_sync::audit!(assert_eq!(
+                evals,
+                (miss_ids.len() * width) as u64,
+                "shared-store block launch eval count out of step with ledger"
+            ));
             self.stats
                 .segments_computed
                 .fetch_add(miss_ids.len() as u64, Ordering::Relaxed);
             outcome.computed += miss_ids.len() as u64;
-            outcome.evals += (miss_ids.len() * width) as u64;
+            outcome.evals += evals;
             for (bi, &ri) in to_compute.iter().enumerate() {
                 out.row_mut(ri)[col_off..col_off + width].copy_from_slice(block.row(bi));
                 if !cacheable {
@@ -357,12 +366,17 @@ impl SharedKernelStore {
                         // uncached — rare, eviction-pressure-only path.
                         drop(shard);
                         let mut one = DenseMatrix::zeros(1, width);
-                        self.oracle
-                            .compute_rows_range(exec, &[gid], range.clone(), &mut one);
+                        let evals =
+                            self.oracle
+                                .compute_rows_range(exec, &[gid], range.clone(), &mut one);
+                        gmp_sync::audit!(assert_eq!(
+                            evals, width as u64,
+                            "shared-store fallback launch eval count out of step with ledger"
+                        ));
                         out.row_mut(ri)[col_off..col_off + width].copy_from_slice(one.row(0));
                         self.stats.segments_computed.fetch_add(1, Ordering::Relaxed);
                         outcome.computed += 1;
-                        outcome.evals += width as u64;
+                        outcome.evals += evals;
                         break;
                     }
                 }
@@ -581,7 +595,7 @@ impl KernelRows for SharedRows {
 mod tests {
     use super::*;
     use crate::functions::KernelKind;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_gpusim::CpuExecutor;
     use gmp_sparse::CsrMatrix;
 
     /// 6 instances, 3 classes of 2 (grouped): layout [0,2,4,6].
@@ -605,7 +619,7 @@ mod tests {
     }
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, KernelRows, ReplacementPolicy};
 use gmp_sparse::CsrMatrix;
 
@@ -55,6 +55,12 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[test]
 fn steady_state_ensure_does_not_allocate() {
+    if gmp_sync::AUDIT {
+        // The debug-invariants row-handout ledger (`split_rows`) allocates
+        // by design; the zero-allocation guarantee is about production
+        // builds, which CI checks in a separate no-feature run.
+        return;
+    }
     // 8 instances, buffer capacity 4: each cycle below misses, evicts and
     // recomputes, exercising the full miss + insert + eviction machinery.
     let rows_dense: Vec<Vec<f64>> = (0..8)
@@ -67,7 +73,7 @@ fn steady_state_ensure_does_not_allocate() {
     let data = Arc::new(CsrMatrix::from_dense(&rows_dense, 6));
     let oracle = Arc::new(KernelOracle::new(data, KernelKind::Rbf { gamma: 0.5 }));
     let mut provider = BufferedRows::new(oracle, 4, ReplacementPolicy::FifoBatch, None).unwrap();
-    let exec = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+    let exec = CpuExecutor::xeon(1);
 
     let cycle = |p: &mut BufferedRows, e: &CpuExecutor| {
         p.ensure(e, &[0, 1, 2, 3]);

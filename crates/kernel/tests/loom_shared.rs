@@ -23,7 +23,7 @@
 //! are also explored.
 #![cfg(feature = "loom")]
 
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::shared::FetchOutcome;
 use gmp_kernel::{ClassLayout, KernelKind, KernelOracle, SharedKernelStore};
 use gmp_sparse::{CsrMatrix, DenseMatrix};
@@ -48,7 +48,7 @@ fn tiny_store(capacity_bytes: u64) -> Arc<SharedKernelStore> {
 /// Fetch both rows of pair (0,1) and check every value against the closed
 /// form — a torn or misplaced segment fails here.
 fn fetch_and_check(st: &SharedKernelStore) -> FetchOutcome {
-    let e = CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1));
+    let e = CpuExecutor::xeon(1);
     let mut out = DenseMatrix::zeros(2, 2);
     let outcome = st.fetch_pair_rows(&e, &[0, 1], 0, 1, &mut out);
     let off = (-2.0f64).exp();

@@ -6,6 +6,8 @@
 //!   --port P           TCP port; 0 picks an ephemeral port (default 7878)
 //!   --backend B        scoring backend: libsvm | libsvm-omp | gpu-baseline
 //!                      | cmp | gmp | gmp-v100 (default gmp)
+//!   --compute-backend C  numeric compute backend: scalar | blocked
+//!                      (default: GMP_BACKEND env var, else scalar)
 //!   --threads N        host threads per scoring call (default auto)
 //!   --max-batch N      micro-batch size cap (default 32)
 //!   --max-delay-us D   flush window for partial batches (default 2000)
@@ -25,7 +27,7 @@
 
 use gmp_serve::proto::{self, RequestLine};
 use gmp_serve::{PredictorEngine, ServeConfig, ServeHandle, Server};
-use gmp_svm::{Backend, MpSvmModel};
+use gmp_svm::{Backend, ComputeBackendKind, MpSvmModel};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
@@ -38,6 +40,7 @@ struct Opts {
     host: String,
     port: u16,
     backend: Backend,
+    compute: ComputeBackendKind,
     threads: Option<usize>,
     cfg: ServeConfig,
 }
@@ -47,6 +50,7 @@ fn parse_opts<I: Iterator<Item = String>>(mut args: I) -> Result<Opts, String> {
     let mut host = "127.0.0.1".to_string();
     let mut port = 7878u16;
     let mut backend = Backend::gmp_default();
+    let mut compute = ComputeBackendKind::from_env();
     let mut threads = None;
     let mut cfg = ServeConfig::default();
 
@@ -62,6 +66,12 @@ fn parse_opts<I: Iterator<Item = String>>(mut args: I) -> Result<Opts, String> {
             "--backend" => {
                 let name: String = value("--backend", args.next())?;
                 backend = gmp_cli_parse_backend(&name)?;
+            }
+            "--compute-backend" => {
+                let name: String = value("--compute-backend", args.next())?;
+                compute = ComputeBackendKind::parse(&name).ok_or_else(|| {
+                    format!("unknown compute backend '{name}' (scalar | blocked)")
+                })?;
             }
             "--threads" => threads = Some(value("--threads", args.next())?),
             "--max-batch" => cfg.max_batch = value("--max-batch", args.next())?,
@@ -90,6 +100,7 @@ fn parse_opts<I: Iterator<Item = String>>(mut args: I) -> Result<Opts, String> {
         host,
         port,
         backend,
+        compute,
         threads,
         cfg,
     })
@@ -140,7 +151,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let engine = match PredictorEngine::new(model, opts.backend.clone(), opts.threads) {
+    let engine = match PredictorEngine::with_compute_backend(
+        model,
+        opts.backend.clone(),
+        opts.threads,
+        opts.compute,
+    ) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("gmp-serve: model rejected: {e}");

@@ -4,6 +4,7 @@
 use gmp_sparse::CsrMatrix;
 use gmp_svm::predict::PreparedPredictor;
 use gmp_svm::trainer::TrainError;
+use gmp_svm::ComputeBackendKind;
 use gmp_svm::{Backend, MpSvmModel, PredictOutcome};
 use std::fmt;
 use std::sync::Arc;
@@ -59,6 +60,7 @@ impl fmt::Debug for PredictorEngine {
             .field("dim", &self.dim)
             .field("n_sv", &self.predictor.model().n_sv())
             .field("backend", &self.predictor.backend().label())
+            .field("compute_backend", &self.predictor.compute_backend().name())
             .finish()
     }
 }
@@ -70,6 +72,17 @@ impl PredictorEngine {
         model: MpSvmModel,
         backend: Backend,
         host_threads: Option<usize>,
+    ) -> Result<Self, EngineError> {
+        Self::with_compute_backend(model, backend, host_threads, ComputeBackendKind::from_env())
+    }
+
+    /// [`PredictorEngine::new`] on an explicit compute backend (instead of
+    /// the `GMP_BACKEND` selection).
+    pub fn with_compute_backend(
+        model: MpSvmModel,
+        backend: Backend,
+        host_threads: Option<usize>,
+        compute: ComputeBackendKind,
     ) -> Result<Self, EngineError> {
         if model.classes < 2 {
             return Err(EngineError::TooFewClasses(model.classes));
@@ -95,8 +108,18 @@ impl PredictorEngine {
             }
         }
         let dim = model.sv_pool.ncols();
-        let predictor = PreparedPredictor::new(Arc::new(model), backend, host_threads);
+        let predictor = PreparedPredictor::with_compute_backend(
+            Arc::new(model),
+            backend,
+            host_threads,
+            compute,
+        );
         Ok(PredictorEngine { predictor, dim })
+    }
+
+    /// The compute backend every scoring call uses.
+    pub fn compute_backend(&self) -> ComputeBackendKind {
+        self.predictor.compute_backend()
     }
 
     /// Feature dimensionality requests must respect.

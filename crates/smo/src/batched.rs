@@ -446,13 +446,13 @@ fn audit_solver_state(y: &[f64], alpha: &[f64], caps: &[f64], f: &[f64], y_alpha
 mod tests {
     use super::*;
     use crate::classic::ClassicSmoSolver;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_gpusim::CpuExecutor;
     use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
     use gmp_sparse::CsrMatrix;
     use std::sync::Arc;
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     /// The trainer moves solvers and their results across wave threads;

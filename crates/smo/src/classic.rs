@@ -292,13 +292,13 @@ impl ClassicSmoSolver {
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_gpusim::CpuExecutor;
     use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
     use gmp_sparse::CsrMatrix;
     use std::sync::Arc;
 
     pub(crate) fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     pub(crate) fn rows_for(

@@ -59,12 +59,12 @@ pub fn decision_values_for(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmp_gpusim::{CpuExecutor, HostConfig};
+    use gmp_gpusim::CpuExecutor;
     use gmp_kernel::KernelKind;
     use std::sync::Arc;
 
     fn exec() -> CpuExecutor {
-        CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+        CpuExecutor::xeon(1)
     }
 
     #[test]

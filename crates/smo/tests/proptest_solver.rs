@@ -1,7 +1,7 @@
 //! Property-based tests: solver invariants that must hold on *any* input.
 #![allow(clippy::needless_range_loop)] // parallel-array indexing
 
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_smo::common::{in_lower, in_upper};
 use gmp_smo::{BatchedParams, BatchedSmoSolver, ClassicSmoSolver, SmoParams, SolverResult};
@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn exec() -> CpuExecutor {
-    CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+    CpuExecutor::xeon(1)
 }
 
 /// Random small binary classification problem: points in [-1,1]^2 with

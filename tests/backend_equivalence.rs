@@ -1,0 +1,176 @@
+//! The compute-backend acceptance tests:
+//!
+//! 1. `scalar` is bit-identical to the pre-refactor pipeline — the train
+//!    eval count, serialized model text, and prediction outputs are pinned
+//!    as FNV-1a 64 hashes captured on the code *before* the backend seam
+//!    existed.
+//! 2. Every selectable backend produces bit-identical models, predictions,
+//!    eval counts, and simulated times (train → `to_text` → `from_text` →
+//!    serve-score end to end).
+//! 3. Host threading never changes bits, on any backend.
+
+use gmp_integration::{fnv64, golden_backend, golden_dataset, golden_params, predict_hashes};
+use gmp_serve::PredictorEngine;
+use gmp_svm::{Backend, ComputeBackendKind, MpSvmModel, MpSvmTrainer, TrainOutcome};
+
+fn train_on(compute: ComputeBackendKind, threads: Option<usize>) -> TrainOutcome {
+    let data = golden_dataset();
+    MpSvmTrainer::new(
+        golden_params().with_compute_backend(compute),
+        golden_backend(),
+    )
+    .with_host_threads(threads)
+    .train(&data)
+    // gmp:allow-panic — test
+    .expect("training the pinned scenario")
+}
+
+/// Goldens captured on the pre-refactor seed code (single host thread).
+const GOLDEN_TRAIN_EVALS: u64 = 4320;
+const GOLDEN_MODEL_FNV: u64 = 0xbd67b201923327bc;
+const GOLDEN_PREDICT_EVALS: u64 = 900;
+const GOLDEN_DV_FNV: u64 = 0xc1b8772dec901b45;
+const GOLDEN_PROB_FNV: u64 = 0x95cc2655ffd5d775;
+const GOLDEN_LABELS_FNV: u64 = 0xc99086524695a995;
+
+#[test]
+fn scalar_backend_matches_pre_refactor_goldens() {
+    let data = golden_dataset();
+    let out = train_on(ComputeBackendKind::Scalar, Some(1));
+    assert_eq!(out.report.kernel_evals, GOLDEN_TRAIN_EVALS);
+    assert_eq!(out.report.compute_backend, "scalar");
+    let text = out.model.to_text();
+    assert_eq!(fnv64(text.bytes()), GOLDEN_MODEL_FNV, "model text drifted");
+
+    let pred = out
+        .model
+        .predict_with_threads(&data.x, &golden_backend(), Some(1))
+        // gmp:allow-panic — test
+        .expect("predicting the pinned scenario");
+    assert_eq!(pred.report.kernel_evals, GOLDEN_PREDICT_EVALS);
+    let (dv, prob, labels) = predict_hashes(&pred);
+    assert_eq!(dv, GOLDEN_DV_FNV, "decision values drifted");
+    assert_eq!(prob, GOLDEN_PROB_FNV, "probabilities drifted");
+    assert_eq!(labels, GOLDEN_LABELS_FNV, "labels drifted");
+}
+
+#[test]
+fn all_backends_are_bit_identical_end_to_end() {
+    // Train, serialize, reparse, and serve-score on each compute backend;
+    // every artifact must carry the same bits.
+    struct Summary {
+        name: String,
+        train_evals: u64,
+        model_fnv: u64,
+        predict_hashes: (u64, u64, u64),
+        sim_bits: u64,
+    }
+    let data = golden_dataset();
+    let mut summaries: Vec<Summary> = Vec::new();
+    for compute in ComputeBackendKind::ALL {
+        let out = train_on(compute, Some(1));
+        assert_eq!(out.report.compute_backend, compute.name());
+        let text = out.model.to_text();
+        // gmp:allow-panic — test
+        let reparsed = MpSvmModel::from_text(&text).expect("reparsing serialized model");
+
+        // Offline prediction on the reparsed model.
+        let pred = reparsed
+            .predict_with_compute_backend(&data.x, &golden_backend(), compute)
+            // gmp:allow-panic — test
+            .expect("offline prediction");
+        assert_eq!(pred.report.compute_backend, compute.name());
+
+        // Serve-score the same rows through the engine (train → text →
+        // parse → serve): must match the offline path bit for bit.
+        let engine =
+            PredictorEngine::with_compute_backend(reparsed, golden_backend(), Some(1), compute)
+                // gmp:allow-panic — test
+                .expect("engine construction");
+        assert_eq!(engine.compute_backend(), compute);
+        // gmp:allow-panic — test
+        let served = engine.predict_batch(&data.x).expect("serve scoring");
+        assert_eq!(served.decision_values, pred.decision_values);
+        assert_eq!(served.probabilities, pred.probabilities);
+        assert_eq!(served.labels, pred.labels);
+
+        summaries.push(Summary {
+            name: compute.name().to_string(),
+            train_evals: out.report.kernel_evals,
+            model_fnv: fnv64(text.bytes()),
+            predict_hashes: predict_hashes(&pred),
+            sim_bits: pred.report.sim_s.to_bits(),
+        });
+    }
+    let first = &summaries[0];
+    for s in &summaries[1..] {
+        assert_eq!(
+            s.train_evals, first.train_evals,
+            "{}: train eval count diverged",
+            s.name
+        );
+        assert_eq!(
+            s.model_fnv, first.model_fnv,
+            "{}: model bits diverged",
+            s.name
+        );
+        assert_eq!(
+            s.predict_hashes, first.predict_hashes,
+            "{}: prediction bits diverged",
+            s.name
+        );
+        assert_eq!(
+            s.sim_bits, first.sim_bits,
+            "{}: simulated time diverged",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn host_threads_never_change_bits() {
+    let data = golden_dataset();
+    for compute in ComputeBackendKind::ALL {
+        let single = train_on(compute, Some(1));
+        let multi = train_on(compute, Some(4));
+        assert_eq!(
+            single.model.to_text(),
+            multi.model.to_text(),
+            "{}: threading changed the model",
+            compute.name()
+        );
+        let p1 = single
+            .model
+            .predict_with_threads(&data.x, &golden_backend(), Some(1))
+            // gmp:allow-panic — test
+            .expect("single-thread prediction");
+        let p4 = multi
+            .model
+            .predict_with_threads(&data.x, &golden_backend(), Some(4))
+            // gmp:allow-panic — test
+            .expect("multi-thread prediction");
+        assert_eq!(
+            predict_hashes(&p1),
+            predict_hashes(&p4),
+            "{}",
+            compute.name()
+        );
+    }
+}
+
+#[test]
+fn unshared_prediction_path_agrees_across_backends() {
+    // The per-binary (unshared) scoring path also rides the backend seam.
+    let data = golden_dataset();
+    let out = train_on(ComputeBackendKind::Scalar, Some(1));
+    let mut hashes = Vec::new();
+    for compute in ComputeBackendKind::ALL {
+        let pred = out
+            .model
+            .predict_with_compute_backend(&data.x, &Backend::libsvm(), compute)
+            // gmp:allow-panic — test
+            .expect("unshared prediction");
+        hashes.push(predict_hashes(&pred));
+    }
+    assert!(hashes.windows(2).all(|w| w[0] == w[1]));
+}

@@ -3,14 +3,14 @@
 //! bias, same decision values — across datasets and hyper-parameters.
 
 use gmp_datasets::{BlobSpec, PaperDataset};
-use gmp_gpusim::{CpuExecutor, HostConfig};
+use gmp_gpusim::CpuExecutor;
 use gmp_kernel::{BufferedRows, KernelKind, KernelOracle, ReplacementPolicy};
 use gmp_smo::{BatchedParams, BatchedSmoSolver, ClassicSmoSolver, SmoParams, SolverResult};
 use gmp_svm::{Backend, MpSvmTrainer, SvmParams};
 use std::sync::Arc;
 
 fn exec() -> CpuExecutor {
-    CpuExecutor::new(HostConfig::xeon_e5_2640_v4(1))
+    CpuExecutor::xeon(1)
 }
 
 fn solve_both(
